@@ -1,0 +1,298 @@
+// Package main_test is the benchmark harness: one benchmark per table and
+// figure of the paper, each running the corresponding experiment end to
+// end, plus ablation benches for the ARTP design choices. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The reported custom metrics carry the experiment's headline numbers so a
+// bench run doubles as a regeneration of the paper's results.
+package main_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"marnet/internal/core"
+	"marnet/internal/device"
+	"marnet/internal/experiments"
+	"marnet/internal/offload"
+	"marnet/internal/simnet"
+	"marnet/internal/vision"
+)
+
+// metric makes a label safe for testing.B.ReportMetric (no whitespace).
+func metric(parts ...string) string {
+	s := strings.Join(parts, "_")
+	return strings.NewReplacer(" ", "-", ",", "", "(", "", ")", "").Replace(s)
+}
+
+func BenchmarkTableI_DeviceLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := device.Lookup("Smartphone"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_LinkRTT(b *testing.B) {
+	var last experiments.TableIIResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.TableII(int64(i) + 1)
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(float64(row.LinkRTT.Microseconds())/1000,
+			metric(row.Platform, row.Connection, "rtt_ms"))
+	}
+}
+
+func BenchmarkFigure2_PerformanceAnomaly(b *testing.B) {
+	var last experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure2(int64(i) + 1)
+	}
+	b.ReportMetric(last.BothFastA/1e6, "A@54/54_Mbps")
+	b.ReportMetric(last.MixedA/1e6, "A@54/18_Mbps")
+}
+
+func BenchmarkFigure3_AsymmetricUploads(b *testing.B) {
+	var last experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure3(int64(i) + 1)
+	}
+	b.ReportMetric(last.Alone/1e6, "alone_Mbps")
+	b.ReportMetric(last.With1/1e6, "with1up_Mbps")
+	b.ReportMetric(last.With2/1e6, "with2up_Mbps")
+}
+
+func BenchmarkFigure4_GracefulDegradation(b *testing.B) {
+	var last experiments.Figure4Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure4(int64(i) + 1)
+	}
+	b.ReportMetric(last.Phase("metadata", 2)/1e3, "metadata_phase3_kbps")
+	b.ReportMetric(last.Phase("inter-frames", 2)/1e3, "interframes_phase3_kbps")
+}
+
+func BenchmarkFigure5_DistributedOffloading(b *testing.B) {
+	var last experiments.Figure5Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Figure5(int64(i) + 1)
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(float64(row.MeanLat.Microseconds())/1000, metric(row.Scenario, "ms"))
+	}
+}
+
+func BenchmarkSectionIIIB_VideoBitrates(b *testing.B) {
+	var last experiments.SectionIIIBResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SectionIIIB()
+	}
+	b.ReportMetric(last.Raw4K60MiBps, "raw4K_MiBps")
+}
+
+func BenchmarkSectionIVA_Wireless(b *testing.B) {
+	var last experiments.SectionIVAResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SectionIVA(int64(i) + 1)
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(float64(row.MeasuredRTT.Microseconds())/1000, metric(row.Profile.Name, "rtt_ms"))
+	}
+}
+
+func BenchmarkSectionIVD_Asymmetry(b *testing.B) {
+	var last experiments.SectionIVDResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SectionIVD(int64(i) + 1)
+	}
+	b.ReportMetric(last.MARUpDownRatio, "MAR_up:down")
+	b.ReportMetric(last.DownloadVsCubic/1e6, "download_vs_cubic_Mbps")
+}
+
+func BenchmarkSectionVIC_LossRecovery(b *testing.B) {
+	var last experiments.SectionVICResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SectionVIC(int64(i) + 1)
+	}
+	b.ReportMetric(last.Rows[2].ARQInTime*100, "ARQ@37ms_pct")
+	b.ReportMetric(last.Rows[5].FECComplete*100, "FEC@150ms_complete_pct")
+}
+
+func BenchmarkSectionVID_Multipath(b *testing.B) {
+	var last experiments.SectionVIDResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SectionVID(int64(i) + 1)
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Delivered*100, metric(row.Behavior, "pct"))
+	}
+}
+
+func BenchmarkSectionVIF_EdgePlacement(b *testing.B) {
+	var last experiments.SectionVIFResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SectionVIF(int64(i) + 1)
+	}
+	if len(last.Rows) > 0 {
+		b.ReportMetric(float64(last.Rows[0].GreedyC), "greedy_C")
+	}
+}
+
+func BenchmarkSectionVIH_Aqm(b *testing.B) {
+	var last experiments.SectionVIHResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SectionVIH(int64(i) + 1)
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(float64(row.MARp99.Microseconds())/1000, metric(row.Discipline, "p99_ms"))
+	}
+}
+
+// --- Ablations: ARTP with individual design elements removed. -----------
+
+// ablationRun drives the Figure-4 style workload with a configurable
+// sender and reports the critical stream's in-time delivery percentage and
+// mean latency.
+func ablationRun(seed int64, configure func(*core.Sender, *core.Multipath)) (delivered float64, meanLat time.Duration) {
+	sim := simnet.New(seed)
+	clientMux, serverMux := simnet.NewDemux(), simnet.NewDemux()
+	up := simnet.NewLink(sim, 3e6, 15*time.Millisecond, serverMux, simnet.WithLoss(0.01))
+	down := simnet.NewLink(sim, 3e6, 15*time.Millisecond, clientMux)
+	mp := core.NewMultipath(&core.Path{ID: 1, Out: up, Weight: 1})
+	snd := core.NewSender(sim, core.SenderConfig{
+		Local: 1, Peer: 2, FlowID: 1, Paths: mp, StartBudget: 2.5e6,
+	})
+	rcv := core.NewReceiver(sim, core.ReceiverConfig{
+		Local: 2, Peer: 1, FlowID: 1, DefaultOut: down,
+	})
+	clientMux.Register(1, snd)
+	serverMux.Register(2, rcv)
+	configure(snd, mp)
+
+	crit, err := snd.AddStream(core.StreamConfig{
+		Name: "critical", Class: core.ClassCritical, Priority: core.PrioHighest,
+		Rate: 0.2e6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	bulk, err := snd.AddStream(core.StreamConfig{
+		Name: "bulk", Class: core.ClassFullBestEffort, Priority: core.PrioLowest,
+		Rate: 2.5e6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim.ScheduleAt(5*time.Second, func() { up.SetRate(0.8e6) })
+	const n = 1000 // 10 s at 100/s
+	for i := 0; i < n; i++ {
+		i := i
+		sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			snd.Submit(crit, 200)
+			snd.Submit(bulk, 1200)
+			snd.Submit(bulk, 1200)
+		})
+	}
+	if err := sim.RunUntil(14 * time.Second); err != nil {
+		panic(err)
+	}
+	snd.Stop()
+	rs := rcv.Stream(crit.ID)
+	return float64(rs.Delivered) / n, rs.Latency.Mean()
+}
+
+func BenchmarkAblation_FullARTP(b *testing.B) {
+	var d float64
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		d, lat = ablationRun(int64(i)+1, func(*core.Sender, *core.Multipath) {})
+	}
+	b.ReportMetric(d*100, "critical_delivered_pct")
+	b.ReportMetric(float64(lat.Microseconds())/1000, "critical_mean_ms")
+}
+
+// No priorities: every stream competes in one band (the critical stream
+// loses its head start, so its latency through the squeeze suffers).
+func BenchmarkAblation_NoPriorities(b *testing.B) {
+	var d float64
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		d, lat = ablationRun(int64(i)+1, func(s *core.Sender, _ *core.Multipath) {
+			s.FlattenPriorities()
+		})
+	}
+	b.ReportMetric(d*100, "critical_delivered_pct")
+	b.ReportMetric(float64(lat.Microseconds())/1000, "critical_mean_ms")
+}
+
+// No delay reaction: the controller never cuts (pure pacing at the start
+// budget), so the squeeze turns into standing queues.
+func BenchmarkAblation_NoDelayCC(b *testing.B) {
+	var d float64
+	var lat time.Duration
+	for i := 0; i < b.N; i++ {
+		d, lat = ablationRun(int64(i)+1, func(s *core.Sender, _ *core.Multipath) {
+			s.Controller().DelayThreshold = time.Hour // never triggers
+		})
+	}
+	b.ReportMetric(d*100, "critical_delivered_pct")
+	b.ReportMetric(float64(lat.Microseconds())/1000, "critical_mean_ms")
+}
+
+// Adaptive vs fixed Glimpse trigger: the real NCC tracker in the loop
+// versus every-10th-frame offloading, on a slowly drifting scene.
+func BenchmarkGlimpseTrigger_Adaptive(b *testing.B) {
+	var offloads int64
+	var rms float64
+	for i := 0; i < b.N; i++ {
+		offloads, rms = adaptiveGlimpseRun(int64(i) + 1)
+	}
+	b.ReportMetric(float64(offloads), "offloads_per_3s")
+	b.ReportMetric(rms, "rms_px")
+}
+
+func adaptiveGlimpseRun(seed int64) (int64, float64) {
+	base := vision.Scene(vision.SceneConfig{W: 200, H: 150, Rects: 25, NoiseStd: 1}, 15)
+	cache := map[int64]*vision.Frame{}
+	frame := func(i int64) *vision.Frame {
+		if f, ok := cache[i]; ok {
+			return f
+		}
+		f := vision.Warp(base, vision.Translation(-float64(i), 0))
+		cache[i] = f
+		return f
+	}
+	truth := func(i int64) (int, int) { return 60 + int(i), 75 }
+
+	sim := simnet.New(seed)
+	cm, sm := simnet.NewDemux(), simnet.NewDemux()
+	up := simnet.NewLink(sim, 20e6, 15*time.Millisecond, sm)
+	down := simnet.NewLink(sim, 20e6, 15*time.Millisecond, cm)
+	srv := offload.NewServer(sim, 100, 2e10, func(simnet.Addr) simnet.Handler { return down })
+	sm.Register(100, srv)
+	c, err := offload.NewAdaptiveClient(sim, offload.ClientConfig{
+		Local: 1, Server: 100, FlowID: 1, Uplink: up, DeviceOps: 1e8, FPS: 30,
+	}, frame, truth, offload.AdaptiveTrigger{MaxDrift: 60})
+	if err != nil {
+		panic(err)
+	}
+	cm.Register(1, c)
+	c.Run(3 * time.Second)
+	if err := sim.RunUntil(5 * time.Second); err != nil {
+		panic(err)
+	}
+	return c.Offloads, c.RMSError()
+}
+
+func BenchmarkSectionIVC_CellFairness(b *testing.B) {
+	var last experiments.SectionIVCResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.SectionIVC(int64(i) + 1)
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.JainIndex, metric(fmt.Sprintf("jain_%dusers", row.Users)))
+	}
+}

@@ -1,0 +1,83 @@
+// Command edgeplan solves the Section VI-F edge-datacenter placement
+// problem on a synthetic city and prints the selected sites per solver.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"marnet/internal/edge"
+)
+
+func main() {
+	users := flag.Int("users", 60, "number of mobile users")
+	sites := flag.Int("sites", 20, "number of candidate sites")
+	side := flag.Float64("side", 30, "city side length, km")
+	budget := flag.Duration("budget", 8*time.Millisecond, "per-user network latency budget")
+	capacity := flag.Int("capacity", 0, "per-site user capacity (0 = uncapacitated)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(*users, *sites, *side, *budget, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "edgeplan:", err)
+		os.Exit(1)
+	}
+	if *capacity > 0 {
+		if err := runCapacitated(*users, *sites, *side, *budget, *capacity, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "edgeplan:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runCapacitated(users, sites int, side float64, budget time.Duration, capacity int, seed int64) error {
+	ci := edge.NewCapacitatedGrid(users, sites, side, budget, capacity, seed)
+	sel, assign, err := edge.CapacitatedGreedy(ci)
+	if err != nil {
+		return err
+	}
+	load := map[int]int{}
+	for _, s := range assign {
+		load[s]++
+	}
+	fmt.Printf("capacitated (%d users/site): |C| = %d  sites %v\n", capacity, len(sel), sel)
+	for _, s := range sel {
+		fmt.Printf("  site %-3d serves %d/%d users\n", s, load[s], capacity)
+	}
+	return nil
+}
+
+func run(users, sites int, side float64, budget time.Duration, seed int64) error {
+	inst := edge.NewGrid(users, sites, side, budget, seed)
+	fmt.Printf("edgeplan: %d users, %d candidate sites on %.0fx%.0f km, budget %v\n",
+		users, sites, side, side, budget)
+	if !inst.Feasible() {
+		return fmt.Errorf("instance infeasible: some users are beyond every site's latency budget")
+	}
+
+	greedy, err := edge.Greedy(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("greedy:  |C| = %d  sites %v\n", len(greedy), greedy)
+
+	if users <= 64 {
+		t0 := time.Now()
+		exact, err := edge.Exact(inst, 64)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exact:   |C| = %d  sites %v  (%v)\n", len(exact), exact, time.Since(t0).Round(time.Microsecond))
+	} else {
+		fmt.Println("exact:   skipped (instance too large)")
+	}
+
+	rnd, err := edge.RandomBaseline(inst, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("random:  |C| = %d  sites %v\n", len(rnd), rnd)
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command marbench regenerates every table and figure of the paper and
+// prints them in the paper's layout. Run with no arguments for everything,
+// or name the experiments to run:
+//
+//	marbench table1 table2 fig2 fig3 fig4 fig5 s3b s4a s4c s4d s6c s6d s6f s6h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"marnet/internal/experiments"
+	"marnet/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed")
+	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
+	flag.Parse()
+	if err := run(flag.Args(), *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "marbench:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "marbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSVs exports the time-series figures (3 and 4) as CSV for external
+// plotting.
+func writeCSVs(dir string, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, series ...*trace.Series) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return trace.WriteCSV(f, series...)
+	}
+	f3 := experiments.Figure3(seed)
+	if err := write("figure3_download_goodput.csv", f3.DownloadGoodput); err != nil {
+		return err
+	}
+	f4 := experiments.Figure4(seed)
+	if err := write("figure4_tcp_cwnd.csv", trace.Downsample(f4.TCPCwnd, 500)); err != nil {
+		return err
+	}
+	if err := write("figure4_artp_streams.csv",
+		f4.PerStream["metadata"], f4.PerStream["sensors"],
+		f4.PerStream["ref-frames"], f4.PerStream["inter-frames"]); err != nil {
+		return err
+	}
+	if err := write("figure4_artp_budget.csv", f4.Budget); err != nil {
+		return err
+	}
+	fmt.Printf("wrote figure CSVs to %s\n", dir)
+	return nil
+}
+
+func run(args []string, seed int64) error {
+	all := []struct {
+		name string
+		fn   func(int64) string
+	}{
+		{"table1", func(int64) string { return experiments.TableI().Format() }},
+		{"table2", func(s int64) string { return experiments.TableII(s).Format() }},
+		{"fig2", func(s int64) string { return experiments.Figure2(s).Format() }},
+		{"fig3", func(s int64) string { return experiments.Figure3(s).Format() }},
+		{"fig4", func(s int64) string { return experiments.Figure4(s).Format() }},
+		{"fig5", func(s int64) string { return experiments.Figure5(s).Format() }},
+		{"s3b", func(int64) string { return experiments.SectionIIIB().Format() }},
+		{"s4a", func(s int64) string { return experiments.SectionIVA(s).Format() }},
+		{"s4c", func(s int64) string { return experiments.SectionIVC(s).Format() }},
+		{"s4d", func(s int64) string { return experiments.SectionIVD(s).Format() }},
+		{"s6c", func(s int64) string { return experiments.SectionVIC(s).Format() }},
+		{"s6d", func(s int64) string { return experiments.SectionVID(s).Format() }},
+		{"s6f", func(s int64) string { return experiments.SectionVIF(s).Format() }},
+		{"s6h", func(s int64) string { return experiments.SectionVIH(s).Format() }},
+	}
+	want := make(map[string]bool, len(args))
+	for _, a := range args {
+		want[strings.ToLower(a)] = true
+	}
+	known := make(map[string]bool, len(all))
+	for _, e := range all {
+		known[e.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+	for _, e := range all {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		fmt.Println(e.fn(seed))
+	}
+	return nil
+}

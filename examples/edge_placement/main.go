@@ -1,0 +1,96 @@
+// Edge placement example: the Section VI-F optimization on a small city,
+// with an ASCII map of users (.), unselected candidates (o), and the
+// selected edge datacenters (#).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"marnet/internal/edge"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const side = 24.0
+	inst := edge.NewGrid(40, 14, side, 7*time.Millisecond, 5)
+	if !inst.Feasible() {
+		return fmt.Errorf("infeasible instance")
+	}
+	sel, err := edge.Exact(inst, 64)
+	if err != nil {
+		return err
+	}
+	selected := make(map[int]bool, len(sel))
+	for _, si := range sel {
+		selected[si] = true
+	}
+
+	const cells = 24
+	grid := [cells][cells]byte{}
+	for y := range grid {
+		for x := range grid {
+			grid[y][x] = ' '
+		}
+	}
+	plot := func(x, y float64, c byte) {
+		cx := int(x / side * cells)
+		cy := int(y / side * cells)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		grid[cy][cx] = c
+	}
+	for _, u := range inst.Users {
+		plot(u.X, u.Y, '.')
+	}
+	for i, s := range inst.Sites {
+		c := byte('o')
+		if selected[i] {
+			c = '#'
+		}
+		plot(s.X, s.Y, c)
+	}
+
+	fmt.Printf("min-|C| edge datacenter placement: %d sites cover %d users (budget %v)\n",
+		len(sel), len(inst.Users), 7*time.Millisecond)
+	fmt.Printf("legend: . user   o unused candidate   # selected datacenter\n")
+	fmt.Println("+" + repeat('-', cells) + "+")
+	for y := 0; y < cells; y++ {
+		fmt.Printf("|%s|\n", string(grid[y][:]))
+	}
+	fmt.Println("+" + repeat('-', cells) + "+")
+
+	// Show the per-user assignment latency.
+	var worst time.Duration
+	for _, u := range inst.Users {
+		best := time.Duration(1 << 62)
+		for _, si := range sel {
+			if l := edge.DefaultLatency(inst.Sites[si], u); l < best {
+				best = l
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	fmt.Printf("worst-case user->datacenter latency: %v (budget %v)\n", worst.Round(100*time.Microsecond), 7*time.Millisecond)
+	return nil
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

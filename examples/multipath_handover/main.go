@@ -1,0 +1,87 @@
+// Multipath handover example: a MAR stream rides WiFi with an LTE path on
+// standby (the paper's "WiFi all the time, 4G for handover" behaviour).
+// When the WiFi AP drops for three seconds — the multi-second handover gap
+// of Section IV-A4 — traffic fails over to LTE and back, and the session
+// never stalls.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"marnet/internal/core"
+	"marnet/internal/phy"
+	"marnet/internal/simnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sim := simnet.New(6)
+	clientMux, serverMux := simnet.NewDemux(), simnet.NewDemux()
+	wifiUp := simnet.NewLink(sim, 20e6, 8*time.Millisecond, serverMux, simnet.WithJitter(3*time.Millisecond))
+	lteUp := phy.LTE.Uplink(sim, serverMux)
+	down := simnet.NewLink(sim, 50e6, 8*time.Millisecond, clientMux)
+
+	wifi := &core.Path{ID: 1, Out: wifiUp, Weight: 20}
+	lte := &core.Path{ID: 2, Out: lteUp, Weight: 8}
+	mp := core.NewMultipath(wifi, lte) // preference order: WiFi first
+	mp.DownAfter = 250 * time.Millisecond
+
+	snd := core.NewSender(sim, core.SenderConfig{
+		Local: 1, Peer: 2, FlowID: 1, Paths: mp, StartBudget: 5e6,
+	})
+	rcv := core.NewReceiver(sim, core.ReceiverConfig{
+		Local: 2, Peer: 1, FlowID: 1, DefaultOut: down,
+	})
+	clientMux.Register(1, snd)
+	serverMux.Register(2, rcv)
+
+	st, err := snd.AddStream(core.StreamConfig{
+		Name: "mar", Class: core.ClassLossRecovery, Priority: core.PrioHighest,
+		Rate: 2e6, Deadline: 300 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+
+	// WiFi outage from t=5s to t=8s; the device notices after 200 ms.
+	phy.Outage(sim, wifiUp, 0, 5*time.Second, 3*time.Second)
+	sim.ScheduleAt(5*time.Second+200*time.Millisecond, func() {
+		wifi.SetDown(true)
+		fmt.Println("t=5.2s *** WiFi lost: failing over to LTE ***")
+	})
+	sim.ScheduleAt(8*time.Second, func() {
+		wifi.SetDown(false)
+		fmt.Println("t=8.0s *** WiFi back: traffic returns ***")
+	})
+
+	const packets = 1500 // 15 s at 100 pkt/s
+	for i := 0; i < packets; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		sim.ScheduleAt(at, func() { snd.Submit(st, 1000) })
+	}
+	for s := 1; s <= 15; s++ {
+		at := time.Duration(s) * time.Second
+		sim.ScheduleAt(at, func() {
+			fmt.Printf("t=%2.0fs delivered=%4d wifi-sent=%5d lte-sent=%4d wifi-rtt=%v lte-rtt=%v\n",
+				sim.Now().Seconds(), rcv.Stream(st.ID).Delivered,
+				wifi.SentPackets, lte.SentPackets,
+				wifi.SRTT().Round(time.Millisecond), lte.SRTT().Round(time.Millisecond))
+		})
+	}
+	if err := sim.RunUntil(16 * time.Second); err != nil {
+		return err
+	}
+	snd.Stop()
+
+	rs := rcv.Stream(st.ID)
+	fmt.Printf("\nin-time delivery: %d/%d (%.1f%%) through a 3 s WiFi outage; LTE carried %.2f MB\n",
+		rs.Delivered, packets, 100*float64(rs.Delivered)/packets, float64(lte.SentBytes)/1e6)
+	return nil
+}

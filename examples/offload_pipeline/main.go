@@ -1,0 +1,110 @@
+// Offload pipeline example: runs the actual pure-Go vision pipeline on a
+// synthetic camera frame (real pixels, real features, real homography),
+// times each stage, feeds those costs into the paper's Section III cost
+// model, and then replays the four offloading strategies over a simulated
+// LTE link to show which ones hold a 30 FPS deadline on a smartphone.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"marnet/internal/device"
+	"marnet/internal/mar"
+	"marnet/internal/offload"
+	"marnet/internal/phy"
+	"marnet/internal/simnet"
+	"marnet/internal/vision"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Part 1: the real vision workload. -------------------------------
+	scene := vision.Scene(vision.SceneConfig{W: 320, H: 240, Rects: 30, NoiseStd: 2}, 7)
+	shifted := vision.Warp(scene, vision.Translation(-6, -4))
+
+	t0 := time.Now()
+	kps := vision.DetectFAST(scene, 20, 300)
+	feats := vision.Describe(scene, kps)
+	extractTime := time.Since(t0)
+
+	t0 = time.Now()
+	kps2 := vision.DetectFAST(shifted, 20, 300)
+	feats2 := vision.Describe(shifted, kps2)
+	matches := vision.MatchFeatures(feats, feats2, 60, 0.8)
+	res, err := vision.EstimateHomography(feats, feats2, matches, vision.RansacConfig{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return err
+	}
+	matchTime := time.Since(t0)
+
+	hx, hy, _ := res.H.Apply(100, 100)
+	fmt.Printf("vision pipeline on a %dx%d frame:\n", scene.W, scene.H)
+	fmt.Printf("  %d keypoints, %d descriptors, %d matches, %d inliers\n",
+		len(kps), len(feats), len(matches), len(res.Inliers))
+	fmt.Printf("  recovered camera motion: (100,100) -> (%.1f,%.1f) [truth (106,104)]\n", hx, hy)
+	fmt.Printf("  extraction %v, matching+RANSAC %v on this machine\n\n", extractTime, matchTime)
+	fmt.Printf("  offloading payloads: frame %d B vs features %d B (%.0fx smaller)\n\n",
+		scene.Bytes(), len(feats)*vision.FeatureWireBytes,
+		float64(scene.Bytes())/float64(len(feats)*vision.FeatureWireBytes))
+
+	// --- Part 2: the cost model (Section III equations). -----------------
+	app := mar.App{FPS: 30, OpsPerFrame: offload.ExtractOps + offload.MatchOps}
+	smartphone, err := device.Lookup("Smartphone")
+	if err != nil {
+		return err
+	}
+	cloud, err := device.Lookup("Cloud computing")
+	if err != nil {
+		return err
+	}
+	link := mar.Link{UpBps: phy.LTE.Up, DownBps: phy.LTE.Down, OneWay: phy.LTE.OneWay}
+	name, delay, err := mar.BestStrategy(app, smartphone.ComputeOps, mar.OffloadParams{
+		Rm: smartphone.ComputeOps, Rc: cloud.ComputeOps,
+		Link: link, Y: 1,
+		UploadBytes: offload.FrameBytes, ResultBytes: offload.PoseBytes,
+	}, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cost model: best strategy on a smartphone over LTE = %s (%v per frame, deadline %v)\n\n",
+		name, delay.Round(time.Millisecond), app.Deadline().Round(time.Millisecond))
+
+	// --- Part 3: replay all four strategies over a simulated link. -------
+	fmt.Printf("%-12s %12s %12s %10s %12s\n", "pipeline", "mean lat", "p95 lat", "<=75ms", "uplink MB/s")
+	for _, pl := range offload.StandardPipelines() {
+		sim := simnet.New(3)
+		clientMux, serverMux := simnet.NewDemux(), simnet.NewDemux()
+		up := phy.LTE.Uplink(sim, serverMux)
+		down := phy.LTE.Downlink(sim, clientMux)
+		srv := offload.NewServer(sim, 100, cloud.ComputeOps, func(simnet.Addr) simnet.Handler { return down })
+		serverMux.Register(100, srv)
+		cl, err := offload.NewClient(sim, pl, offload.ClientConfig{
+			Local: 1, Server: 100, FlowID: 1, Uplink: up,
+			DeviceOps: smartphone.ComputeOps, FPS: 30, Deadline: mar.MaxTolerableRTT,
+		})
+		if err != nil {
+			return err
+		}
+		clientMux.Register(1, cl)
+		cl.Run(10 * time.Second)
+		if err := sim.RunUntil(15 * time.Second); err != nil {
+			return err
+		}
+		total := cl.DeadlineHits + cl.DeadlineMiss
+		fmt.Printf("%-12s %12v %12v %9.1f%% %12.2f\n",
+			pl.Name,
+			cl.Latency.Mean().Round(100*time.Microsecond),
+			cl.Latency.Percentile(95).Round(100*time.Microsecond),
+			100*float64(cl.DeadlineHits)/float64(total),
+			float64(cl.UpBytes)/10/1e6)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module marnet
+
+go 1.22

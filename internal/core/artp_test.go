@@ -1,0 +1,295 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/simnet"
+)
+
+// session is a single-path ARTP client->server setup over a duplex link.
+type session struct {
+	sim  *simnet.Sim
+	snd  *Sender
+	rcv  *Receiver
+	up   *simnet.Link
+	down *simnet.Link
+	path *Path
+}
+
+func newSession(t *testing.T, upRate, downRate float64, delay time.Duration, opts ...simnet.LinkOption) *session {
+	t.Helper()
+	sim := simnet.New(21)
+	clientMux, serverMux := simnet.NewDemux(), simnet.NewDemux()
+	up := simnet.NewLink(sim, upRate, delay, serverMux, opts...)
+	down := simnet.NewLink(sim, downRate, delay, clientMux, opts...)
+	path := &Path{ID: 1, Out: up, Weight: upRate}
+	snd := NewSender(sim, SenderConfig{
+		Local: 1, Peer: 2, FlowID: 1,
+		Paths:       NewMultipath(path),
+		StartBudget: upRate, // start at link rate for test speed
+	})
+	rcv := NewReceiver(sim, ReceiverConfig{
+		Local: 2, Peer: 1, FlowID: 1,
+		DefaultOut: down,
+	})
+	clientMux.Register(1, snd)
+	serverMux.Register(2, rcv)
+	return &session{sim: sim, snd: snd, rcv: rcv, up: up, down: down, path: path}
+}
+
+// drive submits n packets of size bytes on st at the given interval.
+func (s *session) drive(st *Stream, n, bytes int, every time.Duration) {
+	for i := 0; i < n; i++ {
+		i := i
+		s.sim.Schedule(time.Duration(i)*every, func() { s.snd.Submit(st, bytes) })
+	}
+}
+
+func TestAddStreamValidation(t *testing.T) {
+	s := newSession(t, 1e6, 1e6, time.Millisecond)
+	cases := []StreamConfig{
+		{Class: 0, Priority: PrioHighest, Rate: 1e5},
+		{Class: ClassCritical, Priority: 0, Rate: 1e5},
+		{Class: ClassCritical, Priority: PrioHighest, FECK: 2, FECM: 1}, // FEC on critical
+		{Class: ClassLossRecovery, Priority: PrioHighest, FECK: 2},      // m = 0
+		{Class: ClassLossRecovery, Priority: PrioHighest, FECK: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := s.snd.AddStream(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := s.snd.AddStream(StreamConfig{Class: ClassCritical, Priority: PrioHighest, Rate: 1e5}); err != nil {
+		t.Errorf("valid stream rejected: %v", err)
+	}
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	s := newSession(t, 10e6, 10e6, 5*time.Millisecond)
+	st, err := s.snd.AddStream(StreamConfig{
+		Name: "meta", Class: ClassCritical, Priority: PrioHighest, Rate: 1e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.drive(st, 100, 200, 10*time.Millisecond)
+	if err := s.sim.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rs := s.rcv.Stream(st.ID)
+	if rs.Delivered != 100 {
+		t.Errorf("delivered = %d, want 100", rs.Delivered)
+	}
+	if rs.Latency.Max() > 100*time.Millisecond {
+		t.Errorf("max latency %v too high for a clean 5ms link", rs.Latency.Max())
+	}
+	if s.rcv.Acked != 100 {
+		t.Errorf("acked = %d, want 100", s.rcv.Acked)
+	}
+	if st.RetxPackets != 0 {
+		t.Errorf("retx = %d on a clean link", st.RetxPackets)
+	}
+}
+
+func TestCriticalReliableUnderLoss(t *testing.T) {
+	s := newSession(t, 10e6, 10e6, 5*time.Millisecond, simnet.WithLoss(0.1))
+	st, _ := s.snd.AddStream(StreamConfig{
+		Name: "meta", Class: ClassCritical, Priority: PrioHighest, Rate: 1e6,
+	})
+	s.drive(st, 200, 200, 10*time.Millisecond)
+	if err := s.sim.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.snd.Stop()
+	rs := s.rcv.Stream(st.ID)
+	if rs.Delivered < 198 { // ~reliable; tail losses bounded by retx cap
+		t.Errorf("delivered = %d/200 under 10%% loss", rs.Delivered)
+	}
+	if st.RetxPackets == 0 {
+		t.Error("expected retransmissions under loss")
+	}
+}
+
+func TestBestEffortNeverRetransmits(t *testing.T) {
+	s := newSession(t, 10e6, 10e6, 5*time.Millisecond, simnet.WithLoss(0.1))
+	st, _ := s.snd.AddStream(StreamConfig{
+		Name: "sensor", Class: ClassFullBestEffort, Priority: PrioNoDelay, Rate: 5e6,
+	})
+	s.drive(st, 200, 200, 5*time.Millisecond)
+	if err := s.sim.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st.RetxPackets != 0 {
+		t.Errorf("best-effort stream retransmitted %d times", st.RetxPackets)
+	}
+	rs := s.rcv.Stream(st.ID)
+	if rs.Delivered == 0 || rs.Delivered == 200 {
+		t.Errorf("delivered = %d, expected some but not all under 10%% loss", rs.Delivered)
+	}
+}
+
+func TestLossRecoveryDeadlineStopsRetx(t *testing.T) {
+	// Deadline far below the RTT: a lost packet can never be repaired in
+	// time, so the sender should shed rather than retransmit (Section VI-C:
+	// at 30 FPS recovery is affordable only if RTT <= 37.5 ms).
+	s := newSession(t, 10e6, 10e6, 60*time.Millisecond, simnet.WithLoss(0.15))
+	st, _ := s.snd.AddStream(StreamConfig{
+		Name: "ref-frames", Class: ClassLossRecovery, Priority: PrioHighest,
+		Rate: 5e6, Deadline: 75 * time.Millisecond, // RTT is 120 ms
+	})
+	s.drive(st, 100, 1000, 10*time.Millisecond)
+	if err := s.sim.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.snd.Stop()
+	if st.RetxPackets != 0 {
+		t.Errorf("retransmitted %d despite deadline < RTT", st.RetxPackets)
+	}
+	if s.snd.DeadlineShed == 0 {
+		t.Error("expected deadline shedding")
+	}
+}
+
+func TestLossRecoveryRetransmitsWithinBudget(t *testing.T) {
+	// RTT 20 ms, deadline 200 ms: recovery is affordable.
+	s := newSession(t, 10e6, 10e6, 10*time.Millisecond, simnet.WithLoss(0.08))
+	st, _ := s.snd.AddStream(StreamConfig{
+		Name: "ref-frames", Class: ClassLossRecovery, Priority: PrioHighest,
+		Rate: 5e6, Deadline: 200 * time.Millisecond,
+	})
+	s.drive(st, 300, 1000, 5*time.Millisecond)
+	if err := s.sim.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.snd.Stop()
+	if st.RetxPackets == 0 {
+		t.Error("expected retransmissions")
+	}
+	rs := s.rcv.Stream(st.ID)
+	total := rs.Delivered + rs.Late
+	if total < 290 {
+		t.Errorf("recovered delivery = %d/300", total)
+	}
+}
+
+func TestFECRecoversWithoutRetx(t *testing.T) {
+	s := newSession(t, 10e6, 10e6, 30*time.Millisecond, simnet.WithLoss(0.05))
+	st, _ := s.snd.AddStream(StreamConfig{
+		Name: "video", Class: ClassLossRecovery, Priority: PrioNoDiscard,
+		Rate: 5e6, Deadline: time.Second, FECK: 8, FECM: 2,
+	})
+	s.drive(st, 400, 1000, 5*time.Millisecond)
+	if err := s.sim.RunUntil(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.snd.Stop()
+	rs := s.rcv.Stream(st.ID)
+	if rs.Recovered == 0 {
+		t.Error("FEC recovered nothing under 5% loss")
+	}
+	if st.FECPackets != int64(400/8*2) {
+		t.Errorf("FEC packets = %d, want %d", st.FECPackets, 400/8*2)
+	}
+	if rs.Delivered < 390 {
+		t.Errorf("delivered+recovered = %d/400", rs.Delivered)
+	}
+}
+
+func TestGracefulDegradationShedsLowPriorityFirst(t *testing.T) {
+	// Offer 3 Mb/s total on a link that will be squeezed to ~1 Mb/s: the
+	// lowest priority stream must absorb the entire cut.
+	s := newSession(t, 5e6, 5e6, 10*time.Millisecond)
+	meta, _ := s.snd.AddStream(StreamConfig{
+		Name: "meta", Class: ClassCritical, Priority: PrioHighest, Rate: 0.2e6,
+	})
+	video, _ := s.snd.AddStream(StreamConfig{
+		Name: "interframes", Class: ClassFullBestEffort, Priority: PrioLowest, Rate: 2.8e6,
+	})
+	// Squeeze the uplink after 2 s.
+	s.sim.Schedule(2*time.Second, func() { s.up.SetRate(1e6) })
+
+	// Drive both streams for 6 s.
+	metaTick := 10 * time.Millisecond // 250 B @ 100/s = 0.2 Mb/s
+	vidTick := 4 * time.Millisecond   // 1400 B @ 250/s = 2.8 Mb/s
+	for i := 0; i < 600; i++ {
+		i := i
+		s.sim.Schedule(time.Duration(i)*metaTick, func() { s.snd.Submit(meta, 250) })
+	}
+	for i := 0; i < 1500; i++ {
+		i := i
+		s.sim.Schedule(time.Duration(i)*vidTick, func() { s.snd.Submit(video, 1400) })
+	}
+	if err := s.sim.RunUntil(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.snd.Stop()
+
+	if video.ShedPackets == 0 {
+		t.Error("low-priority stream was never shed despite squeeze")
+	}
+	rsMeta := s.rcv.Stream(meta.ID)
+	if rsMeta.Delivered < 590 {
+		t.Errorf("critical stream lost data: %d/600 delivered", rsMeta.Delivered)
+	}
+	if meta.ShedPackets != 0 {
+		t.Errorf("critical stream shed %d packets", meta.ShedPackets)
+	}
+}
+
+func TestAllocationFollowsPriorityOrder(t *testing.T) {
+	sim := simnet.New(1)
+	snd := NewSender(sim, SenderConfig{
+		Local: 1, Peer: 2, FlowID: 1,
+		Paths:       NewMultipath(&Path{ID: 1, Out: &simnet.Sink{}}),
+		StartBudget: 1e6,
+	})
+	var gotLow float64 = -1
+	high, _ := snd.AddStream(StreamConfig{
+		Class: ClassCritical, Priority: PrioHighest, Rate: 0.8e6,
+	})
+	low, _ := snd.AddStream(StreamConfig{
+		Class: ClassFullBestEffort, Priority: PrioLowest, Rate: 1e6,
+		OnAllocate: func(r float64) { gotLow = r },
+	})
+	if high.Allocated() != 0.8e6 {
+		t.Errorf("high alloc = %v, want 0.8e6", high.Allocated())
+	}
+	if low.Allocated() != 0.2e6 {
+		t.Errorf("low alloc = %v, want leftover 0.2e6", low.Allocated())
+	}
+	if gotLow != 0.2e6 {
+		t.Errorf("OnAllocate reported %v", gotLow)
+	}
+	_ = low
+}
+
+func TestQoSFeedbackOnCongestion(t *testing.T) {
+	s := newSession(t, 2e6, 2e6, 10*time.Millisecond)
+	var allocs []float64
+	video, _ := s.snd.AddStream(StreamConfig{
+		Name: "video", Class: ClassFullBestEffort, Priority: PrioLowest, Rate: 1.8e6,
+		OnAllocate: func(r float64) { allocs = append(allocs, r) },
+	})
+	s.sim.Schedule(time.Second, func() { s.up.SetRate(0.3e6) })
+	for i := 0; i < 1000; i++ {
+		i := i
+		s.sim.Schedule(time.Duration(i)*5*time.Millisecond, func() { s.snd.Submit(video, 1000) })
+	}
+	if err := s.sim.RunUntil(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.snd.Stop()
+	if len(allocs) == 0 {
+		t.Fatal("no allocation feedback")
+	}
+	min := allocs[0]
+	for _, a := range allocs {
+		if a < min {
+			min = a
+		}
+	}
+	if min >= 1.8e6 {
+		t.Errorf("allocation never decreased: min=%v", min)
+	}
+}

@@ -1,0 +1,146 @@
+// Package core implements ARTP, the AR-oriented transport protocol whose
+// design Section VI of the paper lays out. The protocol provides:
+//
+//   - Classful traffic (Section VI-A): three baseline traffic classes with
+//     different reliability semantics — full best effort, best effort with
+//     loss recovery, and critical (reliable) data.
+//   - Four priority levels used for graceful degradation: in congestion the
+//     protocol sheds or delays low-priority traffic instead of shrinking a
+//     congestion window (Section VI-B, Figure 4).
+//   - A delay-reactive congestion controller that treats rising delay and
+//     jitter as congestion signals (Section VI-B).
+//   - Selective loss recovery bounded by the application's latency budget,
+//     plus FEC for loss-tolerant-but-valuable streams (Section VI-C).
+//   - Multipath scheduling across heterogeneous access links with min-RTT,
+//     weighted, and redundant policies (Section VI-D).
+//   - QoS feedback to the application so it can adapt (encode quality,
+//     sensor sampling) rather than stall (Section VI-B).
+//
+// This package is the deterministic simulator implementation used by the
+// experiment harness; package wire implements the same semantics on real
+// UDP sockets.
+package core
+
+import "time"
+
+// Class is an ARTP traffic class (Section VI-A).
+type Class int
+
+// Traffic classes.
+const (
+	// ClassFullBestEffort: latency matters most; new data is preferred to
+	// loss recovery (sensor streams, video interframes).
+	ClassFullBestEffort Class = iota + 1
+	// ClassLossRecovery: latency-sensitive but valuable data that should be
+	// repaired when affordable (video reference frames).
+	ClassLossRecovery
+	// ClassCritical: reliable in-order delivery is preferable to latency
+	// (connection metadata).
+	ClassCritical
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassFullBestEffort:
+		return "full-best-effort"
+	case ClassLossRecovery:
+		return "best-effort+recovery"
+	case ClassCritical:
+		return "critical"
+	default:
+		return "unknown-class"
+	}
+}
+
+// Priority is an ARTP priority level (Section VI-A). Lower value = more
+// important.
+type Priority int
+
+// Priority levels, in the paper's order.
+const (
+	// PrioHighest: never discarded, never delayed.
+	PrioHighest Priority = iota + 1
+	// PrioNoDiscard ("Medium priority 1"): may be delayed, never discarded.
+	PrioNoDiscard
+	// PrioNoDelay ("Medium priority 2"): may be discarded, never delayed —
+	// fresh data replaces stale data.
+	PrioNoDelay
+	// PrioLowest: freely discarded under congestion.
+	PrioLowest
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PrioHighest:
+		return "highest"
+	case PrioNoDiscard:
+		return "no-discard"
+	case PrioNoDelay:
+		return "no-delay"
+	case PrioLowest:
+		return "lowest"
+	default:
+		return "unknown-priority"
+	}
+}
+
+// Discardable reports whether traffic at this priority may be dropped under
+// congestion rather than queued.
+func (p Priority) Discardable() bool {
+	return p == PrioNoDelay || p == PrioLowest
+}
+
+// Band maps the priority to a strict-priority queue band (0 = served
+// first).
+func (p Priority) Band() int { return int(p) - 1 }
+
+// Packet kinds carried in simnet.Packet.Kind.
+const (
+	KindData = 10
+	KindAck  = 11
+	KindNack = 12
+)
+
+// Wire overheads.
+const (
+	HeaderSize = 24 // ARTP+UDP/IP header bytes on data packets
+	AckSize    = 40
+	NackSize   = 48
+)
+
+// DataHdr is the payload attached to ARTP data packets in the simulator.
+type DataHdr struct {
+	Stream   int
+	Seq      int64
+	PathID   int
+	SendTime time.Duration
+	Retx     bool
+
+	// FEC group description (zero group means no FEC).
+	FECGroup int64
+	FECIndex int
+	FECK     int
+	FECM     int
+	Repair   bool
+
+	// AppBytes is the application payload size (excluding headers).
+	AppBytes int
+	// Deadline is the absolute sim time after which the data is useless.
+	Deadline time.Duration
+}
+
+// AckHdr acknowledges one data packet.
+type AckHdr struct {
+	Stream   int
+	Seq      int64
+	PathID   int
+	EchoSend time.Duration // DataHdr.SendTime echoed back
+}
+
+// NackHdr reports missing sequence numbers for a stream.
+type NackHdr struct {
+	Stream  int
+	Missing []int64
+}

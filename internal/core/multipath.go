@@ -1,0 +1,238 @@
+package core
+
+import (
+	"time"
+
+	"marnet/internal/simnet"
+)
+
+// Path is one usable network path (e.g. the WiFi uplink or the LTE uplink).
+// The sender stamps packets with the path ID; acks echo it back so each
+// path keeps its own RTT estimate and liveness state.
+type Path struct {
+	ID  int
+	Out simnet.Handler
+	// Weight is the relative capacity share used by spread scheduling.
+	Weight float64
+	// CostPerByte lets policies prefer cheap paths (LTE data is expensive
+	// for the user — Section VI-D).
+	CostPerByte float64
+
+	srtt        time.Duration
+	baseRTT     time.Duration // minimum RTT observed on this path
+	lastAck     time.Duration
+	outstanding int
+	forcedDown  bool
+	deficit     float64
+
+	SentPackets  int64
+	SentBytes    int64
+	AckedPackets int64
+}
+
+// SRTT reports the path's smoothed RTT (0 until the first ack).
+func (p *Path) SRTT() time.Duration { return p.srtt }
+
+// BaseRTT reports the minimum RTT observed on the path.
+func (p *Path) BaseRTT() time.Duration { return p.baseRTT }
+
+// SetDown forces the path administratively down (or back up). Bringing a
+// path back up clears its stale in-flight accounting: everything sent into
+// the outage is written off so the path is immediately usable again rather
+// than stuck "silent with outstanding data".
+func (p *Path) SetDown(down bool) {
+	p.forcedDown = down
+	if !down {
+		p.outstanding = 0
+	}
+}
+
+// onAck updates RTT and liveness.
+func (p *Path) onAck(now time.Duration, rtt time.Duration) {
+	p.lastAck = now
+	p.AckedPackets++
+	if p.outstanding > 0 {
+		p.outstanding--
+	}
+	if p.baseRTT == 0 || rtt < p.baseRTT {
+		p.baseRTT = rtt
+	}
+	if p.srtt == 0 {
+		p.srtt = rtt
+	} else {
+		p.srtt = (7*p.srtt + rtt) / 8
+	}
+}
+
+// Available reports whether the path may carry traffic: not forced down and
+// not silent-with-outstanding-data for longer than downAfter.
+func (p *Path) Available(now, downAfter time.Duration) bool {
+	if p.forcedDown {
+		return false
+	}
+	if p.outstanding == 0 {
+		return true
+	}
+	ref := p.lastAck
+	if ref == 0 {
+		// Never acked: give it downAfter from the first outstanding send.
+		return p.outstanding < 64 // stop piling onto a black hole
+	}
+	return now-ref < downAfter
+}
+
+// Policy selects how non-critical traffic spreads over paths.
+type Policy int
+
+// Policies corresponding to the three behaviours of Section VI-D.
+const (
+	// PolicyFailover uses the first available path in preference order
+	// ("WiFi all the time, 4G for handover").
+	PolicyFailover Policy = iota + 1
+	// PolicySpread load-balances across all available paths by weight
+	// ("WiFi and 4G simultaneously").
+	PolicySpread
+)
+
+// Multipath schedules packets over a set of paths.
+type Multipath struct {
+	// Paths in preference order (most preferred first).
+	Paths []*Path
+	// Policy for bulk traffic.
+	Policy Policy
+	// DuplicateCritical sends critical/highest traffic on the two best
+	// paths simultaneously (redundant transmission, Section VI-D).
+	DuplicateCritical bool
+	// DownAfter is the silence interval after which a path with
+	// outstanding data is considered dead (default 500 ms).
+	DownAfter time.Duration
+
+	lastProbe time.Duration
+}
+
+// NewMultipath builds a scheduler over the given paths with failover
+// policy.
+func NewMultipath(paths ...*Path) *Multipath {
+	return &Multipath{Paths: paths, Policy: PolicyFailover, DownAfter: 500 * time.Millisecond}
+}
+
+// available returns the usable paths in preference order.
+func (m *Multipath) available(now time.Duration) []*Path {
+	out := make([]*Path, 0, len(m.Paths))
+	for _, p := range m.Paths {
+		if p.Available(now, m.DownAfter) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Pick selects the transmission path(s) for a packet of the given priority
+// and class and size. Latency-critical traffic (PrioHighest or
+// ClassCritical) goes to the lowest-RTT available path, duplicated onto the
+// second-best when DuplicateCritical is set. Other traffic follows Policy.
+// Pick returns nil when no path is available.
+func (m *Multipath) Pick(now time.Duration, prio Priority, class Class, size int) []*Path {
+	avail := m.available(now)
+	if len(avail) == 0 {
+		// Every path looks dead. A dead-by-silence path can only come back
+		// if something is sent on it (its ack refreshes liveness), so probe
+		// the most preferred non-administratively-down path once per
+		// DownAfter instead of going fully mute.
+		if now-m.lastProbe < m.DownAfter && m.lastProbe != 0 {
+			return nil
+		}
+		for _, p := range m.Paths {
+			if !p.forcedDown {
+				m.lastProbe = now
+				return []*Path{p}
+			}
+		}
+		return nil
+	}
+	if prio == PrioHighest || class == ClassCritical {
+		best := minRTTPath(avail)
+		if m.DuplicateCritical && len(avail) > 1 {
+			second := minRTTPathExcept(avail, best)
+			return []*Path{best, second}
+		}
+		return []*Path{best}
+	}
+	switch m.Policy {
+	case PolicySpread:
+		return []*Path{m.pickWeighted(avail, size)}
+	default: // PolicyFailover
+		return []*Path{avail[0]}
+	}
+}
+
+// pickWeighted implements deficit-style weighted selection: each path
+// accumulates credit proportional to its weight and the chosen path pays
+// for the packet.
+func (m *Multipath) pickWeighted(avail []*Path, size int) *Path {
+	var best *Path
+	for _, p := range avail {
+		if best == nil || p.deficit > best.deficit {
+			best = p
+		}
+	}
+	var totalW float64
+	for _, p := range avail {
+		totalW += p.Weight
+	}
+	if totalW <= 0 {
+		totalW = float64(len(avail))
+		for _, p := range avail {
+			p.deficit += float64(size) / totalW
+		}
+	} else {
+		for _, p := range avail {
+			w := p.Weight
+			if w <= 0 {
+				w = 1
+			}
+			p.deficit += float64(size) * w / totalW
+		}
+	}
+	best.deficit -= float64(size)
+	return best
+}
+
+func minRTTPath(paths []*Path) *Path {
+	best := paths[0]
+	for _, p := range paths[1:] {
+		if rttLess(p, best) {
+			best = p
+		}
+	}
+	return best
+}
+
+func minRTTPathExcept(paths []*Path, except *Path) *Path {
+	var best *Path
+	for _, p := range paths {
+		if p == except {
+			continue
+		}
+		if best == nil || rttLess(p, best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// rttLess orders paths by smoothed RTT, treating unmeasured paths (srtt 0)
+// as attractive probes behind measured ones only when the measured one is
+// fast.
+func rttLess(a, b *Path) bool {
+	switch {
+	case a.srtt == 0 && b.srtt == 0:
+		return a.ID < b.ID
+	case a.srtt == 0:
+		return false // keep measured path until the other proves itself
+	case b.srtt == 0:
+		return true
+	default:
+		return a.srtt < b.srtt
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/simnet"
+)
+
+func TestClassAndPriorityStrings(t *testing.T) {
+	cases := map[string]string{
+		ClassFullBestEffort.String(): "full-best-effort",
+		ClassLossRecovery.String():   "best-effort+recovery",
+		ClassCritical.String():       "critical",
+		Class(99).String():           "unknown-class",
+		PrioHighest.String():         "highest",
+		PrioNoDiscard.String():       "no-discard",
+		PrioNoDelay.String():         "no-delay",
+		PrioLowest.String():          "lowest",
+		Priority(0).String():         "unknown-priority",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+	if PrioHighest.Discardable() || PrioNoDiscard.Discardable() {
+		t.Error("highest/no-discard must not be discardable")
+	}
+	if !PrioNoDelay.Discardable() || !PrioLowest.Discardable() {
+		t.Error("no-delay/lowest must be discardable")
+	}
+	if PrioHighest.Band() != 0 || PrioLowest.Band() != 3 {
+		t.Error("band mapping wrong")
+	}
+}
+
+func TestMultipathFailoverOrder(t *testing.T) {
+	wifi := &Path{ID: 1, Out: &simnet.Sink{}, Weight: 10}
+	lte := &Path{ID: 2, Out: &simnet.Sink{}, Weight: 5}
+	m := NewMultipath(wifi, lte)
+
+	got := m.Pick(0, PrioLowest, ClassFullBestEffort, 1000)
+	if len(got) != 1 || got[0] != wifi {
+		t.Fatalf("failover should use preferred path, got %v", got)
+	}
+	wifi.SetDown(true)
+	got = m.Pick(0, PrioLowest, ClassFullBestEffort, 1000)
+	if len(got) != 1 || got[0] != lte {
+		t.Fatalf("failover should fall back to LTE, got %v", got)
+	}
+	lte.SetDown(true)
+	if got := m.Pick(0, PrioLowest, ClassFullBestEffort, 1000); got != nil {
+		t.Fatalf("no paths available should return nil, got %v", got)
+	}
+}
+
+func TestMultipathCriticalUsesMinRTT(t *testing.T) {
+	a := &Path{ID: 1, Out: &simnet.Sink{}}
+	b := &Path{ID: 2, Out: &simnet.Sink{}}
+	a.onAck(time.Second, 50*time.Millisecond)
+	b.onAck(time.Second, 10*time.Millisecond)
+	m := NewMultipath(a, b)
+	got := m.Pick(time.Second, PrioHighest, ClassCritical, 100)
+	if len(got) != 1 || got[0] != b {
+		t.Fatalf("critical should ride min-RTT path, got %v", got)
+	}
+}
+
+func TestMultipathDuplicateCritical(t *testing.T) {
+	a := &Path{ID: 1, Out: &simnet.Sink{}}
+	b := &Path{ID: 2, Out: &simnet.Sink{}}
+	a.onAck(time.Second, 10*time.Millisecond)
+	b.onAck(time.Second, 50*time.Millisecond)
+	m := NewMultipath(a, b)
+	m.DuplicateCritical = true
+	got := m.Pick(time.Second, PrioHighest, ClassCritical, 100)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("expected duplication on both paths, got %v", got)
+	}
+}
+
+func TestMultipathSpreadWeights(t *testing.T) {
+	a := &Path{ID: 1, Out: &simnet.Sink{}, Weight: 3}
+	b := &Path{ID: 2, Out: &simnet.Sink{}, Weight: 1}
+	m := NewMultipath(a, b)
+	m.Policy = PolicySpread
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		got := m.Pick(0, PrioLowest, ClassFullBestEffort, 1000)
+		counts[got[0].ID]++
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("spread ratio = %v (counts %v), want ~3", ratio, counts)
+	}
+}
+
+func TestPathSilenceDetection(t *testing.T) {
+	p := &Path{ID: 1, Out: &simnet.Sink{}}
+	if !p.Available(0, 500*time.Millisecond) {
+		t.Error("fresh path should be available")
+	}
+	p.outstanding = 5
+	p.lastAck = time.Second
+	if !p.Available(time.Second+400*time.Millisecond, 500*time.Millisecond) {
+		t.Error("path within silence window should be available")
+	}
+	if p.Available(time.Second+600*time.Millisecond, 500*time.Millisecond) {
+		t.Error("silent path with outstanding data should be down")
+	}
+	// An ack revives it.
+	p.onAck(2*time.Second, 20*time.Millisecond)
+	if !p.Available(2*time.Second+100*time.Millisecond, 500*time.Millisecond) {
+		t.Error("acked path should be available again")
+	}
+}
+
+func TestPathNeverAckedBlackholeLimit(t *testing.T) {
+	p := &Path{ID: 1, Out: &simnet.Sink{}}
+	p.outstanding = 100 // piled up, never acked
+	if p.Available(time.Second, 500*time.Millisecond) {
+		t.Error("black-hole path should be unavailable")
+	}
+}
+
+func TestMultipathFailoverEndToEnd(t *testing.T) {
+	// Two paths to the same receiver; kill path 1 mid-run; traffic must
+	// continue over path 2 and delivery must keep happening.
+	sim := simnet.New(31)
+	clientMux, serverMux := simnet.NewDemux(), simnet.NewDemux()
+	up1 := simnet.NewLink(sim, 10e6, 5*time.Millisecond, serverMux)
+	up2 := simnet.NewLink(sim, 5e6, 20*time.Millisecond, serverMux)
+	down := simnet.NewLink(sim, 10e6, 5*time.Millisecond, clientMux)
+
+	p1 := &Path{ID: 1, Out: up1, Weight: 10}
+	p2 := &Path{ID: 2, Out: up2, Weight: 5}
+	mp := NewMultipath(p1, p2)
+	snd := NewSender(sim, SenderConfig{
+		Local: 1, Peer: 2, FlowID: 1, Paths: mp, StartBudget: 2e6,
+	})
+	rcv := NewReceiver(sim, ReceiverConfig{
+		Local: 2, Peer: 1, FlowID: 1, DefaultOut: down,
+	})
+	clientMux.Register(1, snd)
+	serverMux.Register(2, rcv)
+
+	st, _ := snd.AddStream(StreamConfig{
+		Name: "data", Class: ClassFullBestEffort, Priority: PrioNoDiscard, Rate: 1e6,
+	})
+	sim.Schedule(2*time.Second, func() { p1.SetDown(true) })
+	for i := 0; i < 400; i++ {
+		i := i
+		sim.Schedule(time.Duration(i)*10*time.Millisecond, func() { snd.Submit(st, 500) })
+	}
+	if err := sim.RunUntil(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snd.Stop()
+	if p2.SentPackets == 0 {
+		t.Error("fallback path carried nothing")
+	}
+	rs := rcv.Stream(st.ID)
+	if rs.Delivered < 380 {
+		t.Errorf("delivered %d/400 across failover", rs.Delivered)
+	}
+}

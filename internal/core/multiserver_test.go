@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/simnet"
+)
+
+// TestMultiServerDispatch reproduces Figure 5a at the protocol level: one
+// sender, two servers. The latency-critical stream is dispatched to a
+// nearby edge server over a fast path while the bulk stream rides to the
+// cloud, each server acking independently.
+func TestMultiServerDispatch(t *testing.T) {
+	sim := simnet.New(51)
+	clientMux := simnet.NewDemux()
+	edgeMux, cloudMux := simnet.NewDemux(), simnet.NewDemux()
+
+	// Two disjoint forward paths entered through one router keyed on the
+	// packet destination.
+	router := simnet.NewRouter()
+	toEdge := simnet.NewLink(sim, 50e6, 3*time.Millisecond, edgeMux)
+	toCloud := simnet.NewLink(sim, 20e6, 25*time.Millisecond, cloudMux)
+	router.Route(10, toEdge)
+	router.Route(20, toCloud)
+	fromEdge := simnet.NewLink(sim, 50e6, 3*time.Millisecond, clientMux)
+	fromCloud := simnet.NewLink(sim, 20e6, 25*time.Millisecond, clientMux)
+
+	snd := NewSender(sim, SenderConfig{
+		Local: 1, Peer: 20, FlowID: 1, // default peer: the cloud
+		Paths:       NewMultipath(&Path{ID: 1, Out: router, Weight: 1}),
+		StartBudget: 10e6,
+	})
+	edgeRcv := NewReceiver(sim, ReceiverConfig{
+		Local: 10, Peer: 1, FlowID: 1, DefaultOut: fromEdge,
+	})
+	cloudRcv := NewReceiver(sim, ReceiverConfig{
+		Local: 20, Peer: 1, FlowID: 1, DefaultOut: fromCloud,
+	})
+	clientMux.Register(1, snd)
+	edgeMux.Register(10, edgeRcv)
+	cloudMux.Register(20, cloudRcv)
+
+	critical, err := snd.AddStream(StreamConfig{
+		Name: "tracking", Class: ClassLossRecovery, Priority: PrioHighest,
+		Rate: 2e6, Deadline: 75 * time.Millisecond,
+		Peer: 10, // dispatched to the edge
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := snd.AddStream(StreamConfig{
+		Name: "recognition", Class: ClassFullBestEffort, Priority: PrioNoDiscard,
+		Rate: 3e6, // default peer: cloud
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 200; i++ {
+		i := i
+		sim.Schedule(time.Duration(i)*10*time.Millisecond, func() {
+			snd.Submit(critical, 500)
+			snd.Submit(bulk, 1200)
+		})
+	}
+	if err := sim.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snd.Stop()
+
+	edgeStats := edgeRcv.Stream(critical.ID)
+	cloudStats := cloudRcv.Stream(bulk.ID)
+	if edgeStats.Delivered != 200 {
+		t.Errorf("edge received %d/200 critical packets", edgeStats.Delivered)
+	}
+	if cloudStats.Delivered < 195 {
+		t.Errorf("cloud received %d/200 bulk packets", cloudStats.Delivered)
+	}
+	// No cross-delivery.
+	if cloudRcv.Stream(critical.ID).Delivered != 0 {
+		t.Error("critical stream leaked to the cloud")
+	}
+	if edgeRcv.Stream(bulk.ID).Delivered != 0 {
+		t.Error("bulk stream leaked to the edge")
+	}
+	// The edge path's latency advantage shows in the deliveries.
+	if edgeStats.Latency.Mean() >= cloudStats.Latency.Mean() {
+		t.Errorf("edge latency %v not below cloud %v",
+			edgeStats.Latency.Mean(), cloudStats.Latency.Mean())
+	}
+}

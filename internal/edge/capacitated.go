@@ -1,0 +1,222 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The capacitated variant of the Section VI-F problem: each edge
+// datacenter can serve at most Capacity concurrent MAR users (offloading
+// is compute-bound, so a site saturates). A site selection is feasible
+// only if there is an assignment of every user to a selected, covering,
+// non-full site — a bipartite b-matching problem, solved here with
+// Hopcroft–Karp on a capacity-expanded graph.
+
+// ErrNoAssignment is returned when no feasible user->site assignment
+// exists for a selection.
+var ErrNoAssignment = errors.New("edge: no feasible capacitated assignment")
+
+// CapacitatedInstance extends Instance with per-site capacities.
+type CapacitatedInstance struct {
+	Instance
+	// Capacity[i] is the maximum number of users site i can serve.
+	Capacity []int
+}
+
+// NewCapacitatedGrid builds a capacitated synthetic city where every site
+// can serve perSite users.
+func NewCapacitatedGrid(nUsers, nSites int, sideKm float64, budget time.Duration, perSite int, seed int64) CapacitatedInstance {
+	inst := NewGrid(nUsers, nSites, sideKm, budget, seed)
+	caps := make([]int, nSites)
+	for i := range caps {
+		caps[i] = perSite
+	}
+	return CapacitatedInstance{Instance: inst, Capacity: caps}
+}
+
+// Assign finds a feasible assignment of users to the selected sites
+// respecting capacities, or ErrNoAssignment. The returned slice maps user
+// index -> site index.
+func (ci CapacitatedInstance) Assign(selection []int) ([]int, error) {
+	cov := ci.Coverage()
+	// adjacency: user -> eligible selected sites.
+	adj := make([][]int, len(ci.Users))
+	for _, si := range selection {
+		if si < 0 || si >= len(cov) {
+			return nil, fmt.Errorf("edge: bad site index %d", si)
+		}
+		for _, u := range cov[si] {
+			adj[u] = append(adj[u], si)
+		}
+	}
+	for u, sites := range adj {
+		if len(sites) == 0 {
+			return nil, fmt.Errorf("%w: user %d uncovered", ErrNoAssignment, u)
+		}
+	}
+	m := newMatcher(adj, ci.Capacity)
+	if !m.matchAll() {
+		return nil, ErrNoAssignment
+	}
+	return m.userSite, nil
+}
+
+// CapacitatedGreedy selects sites greedily by marginal coverage, then
+// verifies capacity feasibility with matching; if the matching fails it
+// keeps adding the next-best site until every user is assignable.
+func CapacitatedGreedy(ci CapacitatedInstance) ([]int, []int, error) {
+	cov := ci.Coverage()
+	if !ci.Feasible() {
+		return nil, nil, ErrInfeasible
+	}
+	// Quick necessary condition: total capacity of covering sites.
+	total := 0
+	for si := range ci.Capacity {
+		if len(cov[si]) > 0 {
+			total += ci.Capacity[si]
+		}
+	}
+	if total < len(ci.Users) {
+		return nil, nil, fmt.Errorf("%w: total useful capacity %d < %d users",
+			ErrNoAssignment, total, len(ci.Users))
+	}
+
+	// Order sites by raw coverage (descending) as the addition sequence.
+	order := make([]int, len(ci.Sites))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(cov[order[a]]) > len(cov[order[b]]) })
+
+	// Start from the uncapacitated greedy cover.
+	sel, err := Greedy(ci.Instance)
+	if err != nil {
+		return nil, nil, err
+	}
+	chosen := make(map[int]bool, len(sel))
+	for _, si := range sel {
+		chosen[si] = true
+	}
+	for {
+		assign, err := ci.Assign(sel)
+		if err == nil {
+			sort.Ints(sel)
+			return sel, assign, nil
+		}
+		// Add the highest-coverage unchosen site and retry.
+		added := false
+		for _, si := range order {
+			if !chosen[si] && len(cov[si]) > 0 && ci.Capacity[si] > 0 {
+				chosen[si] = true
+				sel = append(sel, si)
+				added = true
+				break
+			}
+		}
+		if !added {
+			return nil, nil, ErrNoAssignment
+		}
+	}
+}
+
+// matcher runs Hopcroft–Karp between users and capacity slots.
+type matcher struct {
+	adj      [][]int // user -> site list
+	capacity []int
+	userSite []int         // user -> assigned site (-1 unassigned)
+	siteUsed map[int]int   // site -> slots used
+	siteUser map[int][]int // site -> assigned users
+}
+
+func newMatcher(adj [][]int, capacity []int) *matcher {
+	m := &matcher{
+		adj:      adj,
+		capacity: capacity,
+		userSite: make([]int, len(adj)),
+		siteUsed: make(map[int]int),
+		siteUser: make(map[int][]int),
+	}
+	for i := range m.userSite {
+		m.userSite[i] = -1
+	}
+	return m
+}
+
+// matchAll assigns every user via augmenting paths (Kuhn's algorithm with
+// capacities; the site side has Capacity[s] slots).
+func (m *matcher) matchAll() bool {
+	for u := range m.adj {
+		visited := make(map[int]bool)
+		if !m.augment(u, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// augment tries to place user u, possibly displacing an already-assigned
+// user to another slot.
+func (m *matcher) augment(u int, visitedSites map[int]bool) bool {
+	for _, s := range m.adj[u] {
+		if visitedSites[s] {
+			continue
+		}
+		visitedSites[s] = true
+		if m.siteUsed[s] < m.capacity[s] {
+			m.place(u, s)
+			return true
+		}
+		// Try to relocate one of the users currently on s.
+		for _, other := range m.siteUser[s] {
+			if m.relocate(other, s, visitedSites) {
+				m.place(u, s)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// relocate moves `other` (currently on site `from`) to a different site,
+// freeing a slot.
+func (m *matcher) relocate(other, from int, visitedSites map[int]bool) bool {
+	for _, s := range m.adj[other] {
+		if s == from || visitedSites[s] {
+			continue
+		}
+		visitedSites[s] = true
+		if m.siteUsed[s] < m.capacity[s] {
+			m.unplace(other, from)
+			m.place(other, s)
+			return true
+		}
+		for _, third := range m.siteUser[s] {
+			if m.relocate(third, s, visitedSites) {
+				m.unplace(other, from)
+				m.place(other, s)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *matcher) place(u, s int) {
+	m.userSite[u] = s
+	m.siteUsed[s]++
+	m.siteUser[s] = append(m.siteUser[s], u)
+}
+
+func (m *matcher) unplace(u, s int) {
+	m.userSite[u] = -1
+	m.siteUsed[s]--
+	users := m.siteUser[s]
+	for i, x := range users {
+		if x == u {
+			m.siteUser[s] = append(users[:i], users[i+1:]...)
+			break
+		}
+	}
+}

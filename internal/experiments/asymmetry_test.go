@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSectionIVDShape(t *testing.T) {
+	r := SectionIVD(31)
+	// MAR traffic is strongly uplink-heavy.
+	if r.MARUpDownRatio < 3 {
+		t.Errorf("MAR up:down = %.2f, want >> 1", r.MARUpDownRatio)
+	}
+	// Links are provisioned the opposite way.
+	for name, asym := range r.LinkAsymmetry {
+		if asym < 1.5 {
+			t.Errorf("%s asymmetry %.2f, expected download-favoring", name, asym)
+		}
+	}
+	// Both upload algorithms collapse the download.
+	if r.DownloadAloneBps < 6e6 {
+		t.Errorf("download alone = %v", r.DownloadAloneBps)
+	}
+	if r.DownloadVsReno > r.DownloadAloneBps/2 {
+		t.Errorf("Reno upload did not collapse download: %v", r.DownloadVsReno)
+	}
+	if r.DownloadVsCubic > r.DownloadAloneBps/2 {
+		t.Errorf("CUBIC upload did not collapse download: %v", r.DownloadVsCubic)
+	}
+	out := r.Format()
+	for _, want := range []string{"up:down", "CUBIC", "oversized uplink FIFO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSectionIVCShape(t *testing.T) {
+	r := SectionIVC(37)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The paper's fairness property: independent ARTP controllers share
+		// the cell almost perfectly evenly.
+		if row.JainIndex < 0.99 {
+			t.Errorf("%d users: Jain = %.3f, want ~1", row.Users, row.JainIndex)
+		}
+		// Nobody is starved.
+		if row.PerUserMin < 0.5*row.PerUserMean {
+			t.Errorf("%d users: min %.0f far below mean %.0f", row.Users, row.PerUserMin, row.PerUserMean)
+		}
+	}
+	// Uncontended cells satisfy everyone.
+	for _, row := range r.Rows[:2] {
+		if row.SatisfiedPct < 1 {
+			t.Errorf("%d users (uncontended): satisfied %.0f%%", row.Users, row.SatisfiedPct*100)
+		}
+	}
+	// Saturated cells still achieve a solid share of fair capacity: the
+	// delay-based controller deliberately trades some utilization for an
+	// empty queue, but must stay above 60% of fair share.
+	fair := r.CellBps / float64(r.Rows[2].Users)
+	if r.Rows[2].PerUserMean < 0.6*fair {
+		t.Errorf("10 users: mean %.0f below 60%% of fair %.0f", r.Rows[2].PerUserMean, fair)
+	}
+	// Per-user throughput decreases with load.
+	if r.Rows[3].PerUserMean >= r.Rows[2].PerUserMean {
+		t.Error("per-user rate should fall as the cell loads")
+	}
+	if !strings.Contains(r.Format(), "Jain") {
+		t.Error("format missing Jain column")
+	}
+}

@@ -1,0 +1,44 @@
+package fec_test
+
+import (
+	"fmt"
+
+	"marnet/internal/fec"
+)
+
+// Protect a block of four packets with two repair packets, lose two of the
+// originals in transit, and reconstruct them.
+func ExampleRS() {
+	rs, err := fec.NewRS(4, 2)
+	if err != nil {
+		panic(err)
+	}
+	data := [][]byte{
+		[]byte("pkt0"), []byte("pkt1"), []byte("pkt2"), []byte("pkt3"),
+	}
+	repair, err := rs.Encode(data)
+	if err != nil {
+		panic(err)
+	}
+
+	// The network lost packets 1 and 3.
+	received := [][]byte{data[0], nil, data[2], nil, repair[0], repair[1]}
+	recovered, err := rs.Reconstruct(received)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s %s\n", recovered[1], recovered[3])
+	// Output: pkt1 pkt3
+}
+
+// Size the FEC overhead for a target residual loss: how many repair
+// symbols per 8 data symbols keep block loss under 0.1% at 5% packet loss?
+func ExampleResidualLoss() {
+	for m := 0; m <= 4; m++ {
+		if fec.ResidualLoss(8, m, 0.05) < 0.001 {
+			fmt.Printf("k=8 needs m=%d\n", m)
+			return
+		}
+	}
+	// Output: k=8 needs m=4
+}

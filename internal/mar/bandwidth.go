@@ -1,0 +1,77 @@
+// Package mar models the Mobile Augmented Reality application layer: the
+// Section III-B bandwidth arithmetic, the Section III cost equations for
+// local vs offloaded execution, and generators for the traffic an offloaded
+// MAR app produces (GOP-structured video, sensor samples, connection
+// metadata) wired into ARTP streams.
+package mar
+
+import "time"
+
+// Latency requirements surveyed in Sections III-B and IV.
+const (
+	// MaxTolerableRTT is the paper's working bound for a seamless
+	// experience (round trip).
+	MaxTolerableRTT = 75 * time.Millisecond
+	// AbrashLatency is the sub-20 ms motion-to-photon bound for AR/VR.
+	AbrashLatency = 20 * time.Millisecond
+	// HolyGrailLatency is the ~7 ms target that preserves the integrity of
+	// the virtual environment.
+	HolyGrailLatency = 7 * time.Millisecond
+	// MaxJitter30FPS is the jitter bound that avoids skipping a frame at
+	// 30 FPS (Section IV).
+	MaxJitter30FPS = 30 * time.Millisecond
+	// MinARBandwidth is the paper's floor for a video feed with enough
+	// information for advanced AR operations.
+	MinARBandwidth = 10e6 // bits/s
+)
+
+// RetinaRate returns the paper's estimate of the human eye's data rate to
+// the brain in bits/s (6–10 Mb/s): low and high bounds.
+func RetinaRate() (low, high float64) { return 6e6, 10e6 }
+
+// FoVScaledRate scales the retina estimate from the fovea's ~2° accurate
+// field to a camera field of view of fovDegrees, in both dimensions. For a
+// 60–70° smartphone camera this lands on the paper's ~9–12 Gb/s raw
+// estimate.
+func FoVScaledRate(fovDegrees float64) (low, high float64) {
+	lo, hi := RetinaRate()
+	scale := (fovDegrees / 2) * (fovDegrees / 2)
+	return lo * scale, hi * scale
+}
+
+// RawVideoBitrate returns the uncompressed bitrate of a video stream in
+// bits/s: w*h*fps*bitsPerPixel. The paper's reference point — 3840x2160 at
+// 60 FPS and 12 bits per pixel — evaluates to 5.97 Gb/s, which is 711
+// MiB/s; the paper's "711 Mb/s" figure is that same quantity with the
+// byte/bit units slipped, and EXPERIMENTS.md records the discrepancy.
+func RawVideoBitrate(w, h, fps, bitsPerPixel int) float64 {
+	return float64(w) * float64(h) * float64(fps) * float64(bitsPerPixel)
+}
+
+// RawVideoMiBps converts a raw bitrate to mebibytes per second (the unit
+// the paper's 711 figure is actually in).
+func RawVideoMiBps(bps float64) float64 { return bps / 8 / (1 << 20) }
+
+// CompressedBitrate applies a lossy compression ratio (e.g. ~30:1 for the
+// paper's 711 Mb/s -> 20-30 Mb/s figure).
+func CompressedBitrate(raw float64, ratio float64) float64 {
+	if ratio <= 0 {
+		return raw
+	}
+	return raw / ratio
+}
+
+// RecoveryBudget answers Section VI-C's arithmetic: with frame period
+// 1/fps and a latency budget, a single lost frame is recoverable by
+// retransmission only if the RTT is at most half the remaining budget.
+// It returns the maximum RTT for which one ARQ round fits.
+func RecoveryBudget(budget time.Duration) time.Duration {
+	return budget / 2
+}
+
+// CanRecoverLoss reports whether an ARQ repair fits: detection plus
+// retransmission costs one RTT, which must fit within the latency budget
+// (Section VI-C: 75 ms budget => RTT <= 37.5 ms).
+func CanRecoverLoss(rtt, budget time.Duration) bool {
+	return rtt <= RecoveryBudget(budget)
+}

@@ -1,0 +1,38 @@
+package mar_test
+
+import (
+	"fmt"
+	"time"
+
+	"marnet/internal/mar"
+)
+
+// Section VI-C's affordability rule: can a lost frame be retransmitted
+// within the 75 ms budget?
+func ExampleCanRecoverLoss() {
+	budget := mar.MaxTolerableRTT
+	for _, rtt := range []time.Duration{20 * time.Millisecond, 80 * time.Millisecond} {
+		fmt.Printf("RTT %v: ARQ affordable = %v\n", rtt, mar.CanRecoverLoss(rtt, budget))
+	}
+	// Output:
+	// RTT 20ms: ARQ affordable = true
+	// RTT 80ms: ARQ affordable = false
+}
+
+// The Section III decision rule: where should a smartphone run a heavy
+// vision pipeline?
+func ExampleBestStrategy() {
+	app := mar.App{FPS: 30, OpsPerFrame: 2e7} // full recognition
+	offload := mar.OffloadParams{
+		Rm: 1e8, Rc: 2e10, // smartphone vs cloud
+		Link:        mar.Link{UpBps: 50e6, DownBps: 100e6, OneWay: 5 * time.Millisecond},
+		UploadBytes: 12_000, ResultBytes: 400,
+		Y: 1,
+	}
+	name, delay, err := mar.BestStrategy(app, 1e8, offload, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s, in time for 30 FPS: %v\n", name, mar.InTime(delay, app))
+	// Output: offload, in time for 30 FPS: true
+}

@@ -1,0 +1,184 @@
+package offload
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"marnet/internal/simnet"
+	"marnet/internal/trace"
+	"marnet/internal/vision"
+)
+
+// AdaptiveClient is a Glimpse-style pipeline with the real tracker in the
+// loop: each frame is tracked locally with normalized cross-correlation
+// (package vision); the device offloads a frame only when the tracker's
+// confidence collapses or it drifts too long without a server fix. This is
+// the closed loop the fixed TriggerEvery pipeline approximates — "perform
+// local tracking of objects and only offload a selected number of frames"
+// — driven by actual pixels instead of a counter.
+type AdaptiveClient struct {
+	cfg      ClientConfig
+	sim      *simnet.Sim
+	frames   FrameSource
+	truth    TruthSource
+	tracker  *vision.Tracker
+	trigger  AdaptiveTrigger
+	next     int64
+	inflight bool
+	rxSeen   map[int64]bool
+
+	// Results.
+	Offloads   int64
+	Tracked    int64
+	UpBytes    int64
+	ErrSamples []float64 // squared pixel error per frame
+	FixLatency trace.DurStats
+	start      map[int64]time.Duration
+}
+
+// FrameSource produces the camera frame for index i.
+type FrameSource func(i int64) *vision.Frame
+
+// TruthSource reports the true object position in frame i (used to seed
+// the tracker, to model the server's recognition result, and to score
+// tracking accuracy).
+type TruthSource func(i int64) (x, y int)
+
+// AdaptiveTrigger tunes when the client escalates to the server.
+type AdaptiveTrigger struct {
+	// MinNCC is the correlation floor below which tracking is not trusted
+	// (default 0.7).
+	MinNCC float64
+	// MaxDrift forces a server fix after this many frames without one
+	// (default 30 — one fix per second at 30 FPS).
+	MaxDrift int64
+}
+
+// NewAdaptiveClient builds the closed-loop client. frames and truth must
+// be non-nil; the tracker is initialized from frame 0's ground truth.
+func NewAdaptiveClient(sim *simnet.Sim, cfg ClientConfig, frames FrameSource, truth TruthSource, trig AdaptiveTrigger) (*AdaptiveClient, error) {
+	if frames == nil || truth == nil {
+		return nil, fmt.Errorf("offload: adaptive client needs frame and truth sources")
+	}
+	if cfg.DeviceOps <= 0 || cfg.FPS <= 0 {
+		return nil, fmt.Errorf("offload: invalid client config %+v", cfg)
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = time.Second / time.Duration(cfg.FPS)
+	}
+	if trig.MinNCC == 0 {
+		trig.MinNCC = 0.7
+	}
+	if trig.MaxDrift == 0 {
+		trig.MaxDrift = 30
+	}
+	f0 := frames(0)
+	x0, y0 := truth(0)
+	return &AdaptiveClient{
+		cfg:     cfg,
+		sim:     sim,
+		frames:  frames,
+		truth:   truth,
+		tracker: vision.NewTracker(f0, x0, y0, 10, 14, trig.MinNCC),
+		trigger: trig,
+		rxSeen:  make(map[int64]bool),
+		start:   make(map[int64]time.Duration),
+	}, nil
+}
+
+// Run schedules frame processing until the horizon.
+func (a *AdaptiveClient) Run(until time.Duration) {
+	period := time.Second / time.Duration(a.cfg.FPS)
+	var lastFix int64
+	var tick func()
+	tick = func() {
+		i := a.next
+		a.next++
+		frame := a.frames(i)
+		// Local tracking cost, then decide.
+		localDelay := time.Duration(TrackOps / a.cfg.DeviceOps * float64(time.Second))
+		a.sim.Schedule(localDelay, func() {
+			x, y, score := a.tracker.Update(frame)
+			tx, ty := a.truth(i)
+			dx, dy := float64(x-tx), float64(y-ty)
+			a.ErrSamples = append(a.ErrSamples, dx*dx+dy*dy)
+			a.Tracked++
+
+			needFix := a.tracker.Lost() || score < a.trigger.MinNCC ||
+				i-lastFix >= a.trigger.MaxDrift
+			if needFix && !a.inflight {
+				lastFix = i
+				a.offload(i)
+			}
+		})
+		if a.sim.Now()+period <= until {
+			a.sim.Schedule(period, tick)
+		}
+	}
+	a.sim.Schedule(0, tick)
+}
+
+func (a *AdaptiveClient) offload(frame int64) {
+	a.inflight = true
+	a.Offloads++
+	a.start[frame] = a.sim.Now()
+	remaining := FrameBytes
+	for remaining > 0 {
+		n := remaining
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		remaining -= n
+		a.UpBytes += int64(n)
+		a.cfg.Uplink.Handle(&simnet.Packet{
+			ID:      a.sim.NextPacketID(),
+			Src:     a.cfg.Local,
+			Dst:     a.cfg.Server,
+			Flow:    a.cfg.FlowID,
+			Size:    n,
+			Kind:    KindRequest,
+			Created: a.sim.Now(),
+			Payload: reqChunk{
+				Client: a.cfg.Local, Frame: frame, Last: remaining == 0,
+				SentAt: a.sim.Now(), RemoteOps: ExtractOps + MatchOps, RespBytes: PoseBytes,
+			},
+		})
+	}
+}
+
+// Handle consumes the server's recognition result: the tracker reacquires
+// at the (ground-truth) position the server found, on the *current* frame.
+func (a *AdaptiveClient) Handle(pkt *simnet.Packet) {
+	if pkt.Kind != KindResponse {
+		return
+	}
+	resp, ok := pkt.Payload.(respChunk)
+	if !ok || !resp.Last || a.rxSeen[resp.Frame] {
+		return
+	}
+	a.rxSeen[resp.Frame] = true
+	if t0, ok := a.start[resp.Frame]; ok {
+		a.FixLatency.Observe(a.sim.Now() - t0)
+		delete(a.start, resp.Frame)
+	}
+	a.inflight = false
+	cur := a.next - 1
+	if cur < 0 {
+		cur = 0
+	}
+	tx, ty := a.truth(cur)
+	a.tracker.Reacquire(a.frames(cur), tx, ty)
+}
+
+// RMSError reports the root-mean-square tracking error in pixels.
+func (a *AdaptiveClient) RMSError() float64 {
+	if len(a.ErrSamples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range a.ErrSamples {
+		sum += e
+	}
+	return math.Sqrt(sum / float64(len(a.ErrSamples)))
+}

@@ -1,0 +1,132 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/simnet"
+	"marnet/internal/vision"
+)
+
+// driftWorld synthesizes a scene whose content shifts right at a constant
+// pixel rate; the "object" rides the drift.
+type driftWorld struct {
+	base     *vision.Frame
+	perFrame float64 // pixels of drift per frame
+	cache    map[int64]*vision.Frame
+}
+
+func newDriftWorld(perFrame float64) *driftWorld {
+	return &driftWorld{
+		base:     vision.Scene(vision.SceneConfig{W: 200, H: 150, Rects: 25, NoiseStd: 1}, 15),
+		perFrame: perFrame,
+		cache:    map[int64]*vision.Frame{},
+	}
+}
+
+func (w *driftWorld) frame(i int64) *vision.Frame {
+	if f, ok := w.cache[i]; ok {
+		return f
+	}
+	dx := w.perFrame * float64(i)
+	f := vision.Warp(w.base, vision.Translation(-dx, 0))
+	w.cache[i] = f
+	return f
+}
+
+func (w *driftWorld) truth(i int64) (int, int) {
+	return 60 + int(w.perFrame*float64(i)+0.5), 75
+}
+
+func newAdaptiveRig(t *testing.T, world *driftWorld, trig AdaptiveTrigger) (*simnet.Sim, *AdaptiveClient) {
+	t.Helper()
+	sim := simnet.New(5)
+	cm, sm := simnet.NewDemux(), simnet.NewDemux()
+	up := simnet.NewLink(sim, 20e6, 15*time.Millisecond, sm)
+	down := simnet.NewLink(sim, 20e6, 15*time.Millisecond, cm)
+	srv := NewServer(sim, 100, 2e10, func(simnet.Addr) simnet.Handler { return down })
+	sm.Register(100, srv)
+	c, err := NewAdaptiveClient(sim, ClientConfig{
+		Local: 1, Server: 100, FlowID: 1, Uplink: up,
+		DeviceOps: 1e8, FPS: 30,
+	}, world.frame, world.truth, trig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.Register(1, c)
+	return sim, c
+}
+
+func TestAdaptiveTracksSlowDriftWithFewOffloads(t *testing.T) {
+	world := newDriftWorld(1.0) // 1 px/frame: well inside the search window
+	sim, c := newAdaptiveRig(t, world, AdaptiveTrigger{MaxDrift: 60})
+	c.Run(3 * time.Second) // 90 frames
+	if err := sim.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tracked < 85 {
+		t.Fatalf("tracked %d frames", c.Tracked)
+	}
+	// The tracker handles the drift: tight accuracy, few server fixes.
+	if rms := c.RMSError(); rms > 3 {
+		t.Errorf("RMS tracking error = %.2f px", rms)
+	}
+	if c.Offloads > 4 {
+		t.Errorf("offloads = %d, want only periodic fixes", c.Offloads)
+	}
+	// Dramatically less uplink than shipping every frame.
+	everyFrame := int64(90 * FrameBytes)
+	if c.UpBytes*5 > everyFrame {
+		t.Errorf("adaptive uplink %d not ≪ full offload %d", c.UpBytes, everyFrame)
+	}
+}
+
+func TestAdaptiveEscalatesOnFastDrift(t *testing.T) {
+	slow := newDriftWorld(1.0)
+	fast := newDriftWorld(12.0) // near the 14-px search window per frame
+	simS, cSlow := newAdaptiveRig(t, slow, AdaptiveTrigger{MaxDrift: 60})
+	cSlow.Run(2 * time.Second)
+	if err := simS.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	simF, cFast := newAdaptiveRig(t, fast, AdaptiveTrigger{MaxDrift: 60})
+	cFast.Run(2 * time.Second)
+	if err := simF.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if cFast.Offloads <= cSlow.Offloads {
+		t.Errorf("fast drift offloads %d <= slow drift %d", cFast.Offloads, cSlow.Offloads)
+	}
+}
+
+func TestAdaptivePeriodicFixCadence(t *testing.T) {
+	// Integer drift keeps frames pixel-aligned so the NCC floor never
+	// fires and only the MaxDrift cadence forces fixes. (Half-pixel
+	// bilinear blends of this synthetic scene's sharp edges score ~0.63.)
+	world := newDriftWorld(1.0)
+	sim, c := newAdaptiveRig(t, world, AdaptiveTrigger{MaxDrift: 15})
+	c.Run(2 * time.Second) // 60 frames, fixes every 15 -> ~4 fixes
+	if err := sim.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Offloads < 3 || c.Offloads > 6 {
+		t.Errorf("offloads = %d, want ~4 at MaxDrift=15", c.Offloads)
+	}
+	if c.FixLatency.Count() == 0 {
+		t.Error("no fix latencies recorded")
+	}
+	if c.FixLatency.Mean() < 30*time.Millisecond {
+		t.Errorf("fix latency %v below network RTT", c.FixLatency.Mean())
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	sim := simnet.New(1)
+	if _, err := NewAdaptiveClient(sim, ClientConfig{DeviceOps: 1e8, FPS: 30}, nil, nil, AdaptiveTrigger{}); err == nil {
+		t.Error("nil sources should fail")
+	}
+	world := newDriftWorld(1)
+	if _, err := NewAdaptiveClient(sim, ClientConfig{DeviceOps: 0, FPS: 30}, world.frame, world.truth, AdaptiveTrigger{}); err == nil {
+		t.Error("zero compute should fail")
+	}
+}

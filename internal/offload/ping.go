@@ -1,0 +1,84 @@
+package offload
+
+import (
+	"time"
+
+	"marnet/internal/simnet"
+	"marnet/internal/trace"
+)
+
+// Pinger measures the link RTT between a client and a Server the way the
+// Table II measurement does on the CloudRidAR platform: small probes over
+// the offloading channel, averaged over a run.
+type Pinger struct {
+	sim    *simnet.Sim
+	local  simnet.Addr
+	server simnet.Addr
+	uplink simnet.Handler
+	size   int
+	seq    int64
+
+	RTT  trace.DurStats
+	Sent int64
+	Lost int64
+
+	inflight map[int64]time.Duration
+}
+
+// NewPinger builds a pinger; size is the probe size in bytes (default 64).
+func NewPinger(sim *simnet.Sim, local, server simnet.Addr, uplink simnet.Handler, size int) *Pinger {
+	if size <= 0 {
+		size = 64
+	}
+	return &Pinger{
+		sim: sim, local: local, server: server, uplink: uplink, size: size,
+		inflight: make(map[int64]time.Duration),
+	}
+}
+
+// Run schedules count probes spaced by interval.
+func (p *Pinger) Run(count int, interval time.Duration) {
+	for i := 0; i < count; i++ {
+		p.sim.Schedule(time.Duration(i)*interval, p.sendProbe)
+	}
+}
+
+func (p *Pinger) sendProbe() {
+	seq := p.seq
+	p.seq++
+	p.Sent++
+	p.inflight[seq] = p.sim.Now()
+	pkt := &simnet.Packet{
+		ID:      p.sim.NextPacketID(),
+		Src:     p.local,
+		Dst:     p.server,
+		Size:    p.size,
+		Kind:    KindPing,
+		Created: p.sim.Now(),
+		Payload: seq,
+	}
+	p.uplink.Handle(pkt)
+}
+
+// Handle consumes pong packets.
+func (p *Pinger) Handle(pkt *simnet.Packet) {
+	if pkt.Kind != KindPong {
+		return
+	}
+	seq, ok := pkt.Payload.(int64)
+	if !ok {
+		return
+	}
+	t0, ok := p.inflight[seq]
+	if !ok {
+		return
+	}
+	delete(p.inflight, seq)
+	p.RTT.Observe(p.sim.Now() - t0)
+}
+
+// Finish accounts unanswered probes as lost.
+func (p *Pinger) Finish() {
+	p.Lost += int64(len(p.inflight))
+	p.inflight = make(map[int64]time.Duration)
+}

@@ -1,0 +1,319 @@
+// Package offload implements the MAR computation-offloading pipelines the
+// paper surveys (Section III-B) on top of the simnet substrate:
+//
+//   - LocalOnly: the whole vision pipeline runs on the device.
+//   - FullOffload: every compressed frame is shipped to the surrogate.
+//   - CloudRidAR: features are extracted on the device and only the
+//     feature list is shipped (Huang et al., MARS'14).
+//   - Glimpse: the device tracks locally and ships only trigger frames
+//     (Chen et al., SenSys'15).
+//
+// A Client generates frames at a fixed rate, spends the pipeline's local
+// compute time, optionally ships bytes to a Server (which spends remote
+// compute time and returns a result), and records the end-to-end per-frame
+// latency against the application deadline.
+package offload
+
+import (
+	"fmt"
+	"time"
+
+	"marnet/internal/simnet"
+	"marnet/internal/trace"
+)
+
+// Packet kinds.
+const (
+	KindRequest  = 20
+	KindResponse = 21
+	KindPing     = 22
+	KindPong     = 23
+)
+
+const chunkBytes = 1400
+
+// Pipeline describes one offloading strategy for a fixed workload.
+type Pipeline struct {
+	Name string
+	// LocalOps is the per-frame device computation (ops).
+	LocalOps float64
+	// RemoteOps is the per-frame surrogate computation (ops); 0 disables
+	// offloading entirely (LocalOnly).
+	RemoteOps float64
+	// UploadBytes / ResultBytes per offloaded frame.
+	UploadBytes int
+	ResultBytes int
+	// TriggerEvery offloads only every n-th frame (Glimpse); 1 = every
+	// frame; ignored when RemoteOps is 0.
+	TriggerEvery int
+}
+
+// Offloads reports whether the pipeline ships anything.
+func (p Pipeline) Offloads() bool { return p.RemoteOps > 0 && p.UploadBytes > 0 }
+
+// The reference vision workload, calibrated from internal/vision on a
+// 320x240 synthetic frame: full recognition (detect+describe+match+RANSAC)
+// is roughly 10x the cost of detection+description alone, which in turn
+// dwarfs template tracking. Ops are normalized so that a smartphone
+// (1e8 ops/s, see internal/device) extracts features from a frame in
+// ~30 ms.
+const (
+	ExtractOps   = 3e6    // FAST + BRIEF on one frame
+	MatchOps     = 9e6    // descriptor matching + RANSAC against a database
+	TrackOps     = 4e5    // NCC template tracking
+	FrameBytes   = 20_000 // compressed camera frame
+	FeatureBytes = 6_000  // ~150 features x 40 wire bytes
+	PoseBytes    = 400    // result: object pose + labels
+)
+
+// StandardPipelines returns the four strategies for the reference
+// workload.
+func StandardPipelines() []Pipeline {
+	return []Pipeline{
+		{Name: "LocalOnly", LocalOps: ExtractOps + MatchOps},
+		{Name: "FullOffload", RemoteOps: ExtractOps + MatchOps,
+			UploadBytes: FrameBytes, ResultBytes: PoseBytes, TriggerEvery: 1},
+		{Name: "CloudRidAR", LocalOps: ExtractOps, RemoteOps: MatchOps,
+			UploadBytes: FeatureBytes, ResultBytes: PoseBytes, TriggerEvery: 1},
+		{Name: "Glimpse", LocalOps: TrackOps, RemoteOps: ExtractOps + MatchOps,
+			UploadBytes: FrameBytes, ResultBytes: PoseBytes, TriggerEvery: 10},
+	}
+}
+
+type reqChunk struct {
+	Client    simnet.Addr
+	Frame     int64
+	Last      bool
+	SentAt    time.Duration
+	RemoteOps float64
+	RespBytes int
+}
+
+type respChunk struct {
+	Frame int64
+	Last  bool
+}
+
+// ClientConfig wires a Client into a topology.
+type ClientConfig struct {
+	Local, Server simnet.Addr
+	FlowID        uint64
+	Uplink        simnet.Handler // egress toward the server
+	// DeviceOps is the device compute capacity (ops/s).
+	DeviceOps float64
+	// FPS and Deadline define the workload's timing; Deadline defaults to
+	// one frame period.
+	FPS      int
+	Deadline time.Duration
+}
+
+// Client runs one pipeline over a topology.
+type Client struct {
+	cfg  ClientConfig
+	pl   Pipeline
+	sim  *simnet.Sim
+	next int64
+
+	rxBytes map[int64]int
+
+	// Results.
+	Latency      trace.DurStats
+	DeadlineHits int64
+	DeadlineMiss int64
+	UpBytes      int64
+	DownBytes    int64
+	LocalFrames  int64
+	Offloaded    int64
+	start        map[int64]time.Duration
+}
+
+// NewClient builds a client for the pipeline.
+func NewClient(sim *simnet.Sim, pl Pipeline, cfg ClientConfig) (*Client, error) {
+	if cfg.DeviceOps <= 0 || cfg.FPS <= 0 {
+		return nil, fmt.Errorf("offload: invalid client config %+v", cfg)
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = time.Second / time.Duration(cfg.FPS)
+	}
+	if pl.TriggerEvery <= 0 {
+		pl.TriggerEvery = 1
+	}
+	return &Client{
+		cfg: cfg, pl: pl, sim: sim,
+		rxBytes: make(map[int64]int),
+		start:   make(map[int64]time.Duration),
+	}, nil
+}
+
+// Run schedules frame generation until the horizon.
+func (c *Client) Run(until time.Duration) {
+	period := time.Second / time.Duration(c.cfg.FPS)
+	var tick func()
+	tick = func() {
+		c.emitFrame()
+		if c.sim.Now()+period <= until {
+			c.sim.Schedule(period, tick)
+		}
+	}
+	c.sim.Schedule(0, tick)
+}
+
+func (c *Client) emitFrame() {
+	frame := c.next
+	c.next++
+	t0 := c.sim.Now()
+	localDelay := time.Duration(c.pl.LocalOps / c.cfg.DeviceOps * float64(time.Second))
+	offload := c.pl.Offloads() && frame%int64(c.pl.TriggerEvery) == 0
+	c.sim.Schedule(localDelay, func() {
+		if !offload {
+			c.LocalFrames++
+			c.finish(t0)
+			return
+		}
+		c.Offloaded++
+		c.start[frame] = t0
+		c.sendRequest(frame)
+	})
+}
+
+func (c *Client) sendRequest(frame int64) {
+	remaining := c.pl.UploadBytes
+	for remaining > 0 {
+		n := remaining
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		remaining -= n
+		c.UpBytes += int64(n)
+		pkt := &simnet.Packet{
+			ID:      c.sim.NextPacketID(),
+			Src:     c.cfg.Local,
+			Dst:     c.cfg.Server,
+			Flow:    c.cfg.FlowID,
+			Size:    n,
+			Kind:    KindRequest,
+			Created: c.sim.Now(),
+			Payload: reqChunk{
+				Client:    c.cfg.Local,
+				Frame:     frame,
+				Last:      remaining == 0,
+				SentAt:    c.sim.Now(),
+				RemoteOps: c.pl.RemoteOps,
+				RespBytes: c.pl.ResultBytes,
+			},
+		}
+		c.cfg.Uplink.Handle(pkt)
+	}
+}
+
+// Handle consumes response chunks.
+func (c *Client) Handle(pkt *simnet.Packet) {
+	if pkt.Kind != KindResponse {
+		return
+	}
+	resp, ok := pkt.Payload.(respChunk)
+	if !ok {
+		return
+	}
+	c.DownBytes += int64(pkt.Size)
+	if !resp.Last {
+		return
+	}
+	t0, ok := c.start[resp.Frame]
+	if !ok {
+		return
+	}
+	delete(c.start, resp.Frame)
+	c.finish(t0)
+}
+
+func (c *Client) finish(t0 time.Duration) {
+	lat := c.sim.Now() - t0
+	c.Latency.Observe(lat)
+	if lat <= c.cfg.Deadline {
+		c.DeadlineHits++
+	} else {
+		c.DeadlineMiss++
+	}
+}
+
+// PendingFrames reports offloaded frames whose responses never arrived
+// (lost in the network or still in flight at the end of a run).
+func (c *Client) PendingFrames() int { return len(c.start) }
+
+// Server is the offloading surrogate: it reassembles requests, spends the
+// remote compute time (modelling a surrogate with ServerOps capacity) and
+// returns the result.
+type Server struct {
+	sim  *simnet.Sim
+	addr simnet.Addr
+	// ServerOps is the surrogate compute capacity (ops/s).
+	ServerOps float64
+	// Downlink returns packets toward a client address.
+	Downlink func(client simnet.Addr) simnet.Handler
+
+	rx       map[string]int
+	Requests int64
+}
+
+// NewServer builds a surrogate.
+func NewServer(sim *simnet.Sim, addr simnet.Addr, ops float64, downlink func(simnet.Addr) simnet.Handler) *Server {
+	return &Server{sim: sim, addr: addr, ServerOps: ops, Downlink: downlink, rx: make(map[string]int)}
+}
+
+// Handle consumes request chunks; on the last chunk of a frame it runs the
+// remote computation and replies.
+func (s *Server) Handle(pkt *simnet.Packet) {
+	switch pkt.Kind {
+	case KindPing:
+		// Echo for RTT measurement.
+		pong := &simnet.Packet{
+			ID: s.sim.NextPacketID(), Src: s.addr, Dst: pkt.Src,
+			Flow: pkt.Flow, Size: pkt.Size, Kind: KindPong,
+			Created: s.sim.Now(), Payload: pkt.Payload,
+		}
+		s.Downlink(pkt.Src).Handle(pong)
+		return
+	case KindRequest:
+	default:
+		return
+	}
+	req, ok := pkt.Payload.(reqChunk)
+	if !ok {
+		return
+	}
+	if !req.Last {
+		return
+	}
+	s.Requests++
+	compute := time.Duration(0)
+	if s.ServerOps > 0 {
+		compute = time.Duration(req.RemoteOps / s.ServerOps * float64(time.Second))
+	}
+	s.sim.Schedule(compute, func() { s.respond(req) })
+}
+
+func (s *Server) respond(req reqChunk) {
+	out := s.Downlink(req.Client)
+	remaining := req.RespBytes
+	if remaining <= 0 {
+		remaining = 1
+	}
+	for remaining > 0 {
+		n := remaining
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		remaining -= n
+		pkt := &simnet.Packet{
+			ID:      s.sim.NextPacketID(),
+			Src:     s.addr,
+			Dst:     req.Client,
+			Size:    n,
+			Kind:    KindResponse,
+			Created: s.sim.Now(),
+			Payload: respChunk{Frame: req.Frame, Last: remaining == 0},
+		}
+		out.Handle(pkt)
+	}
+}

@@ -1,0 +1,112 @@
+package phy
+
+import (
+	"math"
+	"time"
+
+	"marnet/internal/simnet"
+)
+
+// D2D range limits from Section IV-A: WiFi-Direct reaches ~200 m,
+// LTE-Direct ~1 km.
+const (
+	WiFiDirectRangeM = 200.0
+	LTEDirectRangeM  = 1000.0
+)
+
+// RateAtDistance models how a D2D link's achievable rate falls off with
+// distance: full rate close in, a smooth quadratic roll-off, and zero
+// beyond the technology's range ("the bandwidth depends strongly on the
+// mobility of the users", Section IV-A5). peak is the at-contact rate in
+// bits/s.
+func RateAtDistance(peak, distM, rangeM float64) float64 {
+	if distM <= 0 {
+		return peak
+	}
+	if distM >= rangeM {
+		return 0
+	}
+	f := 1 - (distM/rangeM)*(distM/rangeM)
+	return peak * f
+}
+
+// Walker is a deterministic random-waypoint mobility process on a square
+// area: pick a waypoint, walk toward it at the configured speed, repeat.
+type Walker struct {
+	X, Y    float64 // current position, meters
+	SpeedMS float64 // meters per second
+	AreaM   float64 // side of the square area
+
+	tx, ty float64 // current waypoint
+	rng    interface{ Float64() float64 }
+}
+
+// NewWalker starts a walker at (x, y) moving at speed m/s within an
+// area x area box, drawing waypoints from the simulator RNG.
+func NewWalker(sim *simnet.Sim, x, y, speedMS, areaM float64) *Walker {
+	w := &Walker{X: x, Y: y, SpeedMS: speedMS, AreaM: areaM, rng: sim.Rand()}
+	w.pickWaypoint()
+	return w
+}
+
+func (w *Walker) pickWaypoint() {
+	w.tx = w.rng.Float64() * w.AreaM
+	w.ty = w.rng.Float64() * w.AreaM
+}
+
+// Advance moves the walker by dt.
+func (w *Walker) Advance(dt time.Duration) {
+	remaining := w.SpeedMS * dt.Seconds()
+	for remaining > 0 {
+		dx, dy := w.tx-w.X, w.ty-w.Y
+		dist := math.Hypot(dx, dy)
+		if dist < 1e-9 {
+			w.pickWaypoint()
+			continue
+		}
+		if dist <= remaining {
+			w.X, w.Y = w.tx, w.ty
+			remaining -= dist
+			w.pickWaypoint()
+			continue
+		}
+		w.X += dx / dist * remaining
+		w.Y += dy / dist * remaining
+		remaining = 0
+	}
+}
+
+// DistanceTo returns the distance to a fixed point in meters.
+func (w *Walker) DistanceTo(x, y float64) float64 {
+	return math.Hypot(w.X-x, w.Y-y)
+}
+
+// TrackD2DLink couples a link's rate to the distance between a walker and
+// an anchor point: every interval the rate is recomputed with
+// RateAtDistance; when the walker leaves the range the link is fully lossy
+// (out of radio contact) until it returns. The process stops at the until
+// horizon.
+func TrackD2DLink(sim *simnet.Sim, link *simnet.Link, w *Walker, anchorX, anchorY, peak, rangeM float64, baseLoss float64, interval, until time.Duration) {
+	inRange := true
+	var step func()
+	step = func() {
+		w.Advance(interval)
+		rate := RateAtDistance(peak, w.DistanceTo(anchorX, anchorY), rangeM)
+		if rate <= 0 {
+			if inRange {
+				inRange = false
+				link.SetLoss(1)
+			}
+		} else {
+			if !inRange {
+				inRange = true
+				link.SetLoss(baseLoss)
+			}
+			link.SetRate(rate)
+		}
+		if sim.Now()+interval <= until {
+			sim.Schedule(interval, step)
+		}
+	}
+	sim.Schedule(interval, step)
+}

@@ -1,0 +1,269 @@
+// Package rpc provides a deadline-aware request/response layer on top of
+// the ARTP wire protocol: exactly what a MAR offloading runtime needs to
+// ship a frame (or feature list) and wait for the recognition result,
+// without reinventing correlation, timeouts, or class selection each time.
+//
+// Requests ride a loss-recovery stream bounded by the call deadline;
+// responses ride a second stream in the opposite direction. Every call is
+// correlated by a 64-bit id. Calls whose response cannot arrive in time
+// fail fast with ErrDeadline — the caller is expected to degrade (reuse
+// the previous pose, skip the frame) rather than stall, per the paper's
+// graceful-degradation doctrine.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"marnet/internal/core"
+	"marnet/internal/wire"
+)
+
+// Stream ids used on the underlying connection.
+const (
+	reqStream  = 0x10
+	respStream = 0x11
+)
+
+// Message layout: [8B call id][1B method][payload...].
+const rpcHeader = 9
+
+// Errors.
+var (
+	ErrDeadline = errors.New("rpc: call deadline exceeded")
+	ErrShed     = errors.New("rpc: request shed by transport")
+	ErrClosed   = errors.New("rpc: endpoint closed")
+	ErrTooBig   = errors.New("rpc: payload too large")
+)
+
+// Handler computes a response for a method and request payload. It runs on
+// the server's receive path; heavy work should be dispatched by the app.
+type Handler func(method uint8, req []byte) []byte
+
+// Server answers calls from any number of clients: behind one shared UDP
+// socket, each client address gets its own ARTP connection (streams,
+// congestion controller, retransmission state).
+type Server struct {
+	mux     *wire.Mux
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[string]*wire.Conn
+	served int64
+}
+
+// NewServer listens on addr. key (optional) enables AES-GCM sealing.
+func NewServer(addr string, key []byte, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("rpc: nil handler")
+	}
+	s := &Server{handler: handler, conns: make(map[string]*wire.Conn)}
+	mux, err := wire.ListenMux(addr, func(*net.UDPAddr) wire.Config {
+		return wire.Config{
+			Streams: []wire.StreamSpec{
+				{ID: respStream, Class: core.ClassLossRecovery, Priority: core.PrioHighest,
+					Rate: 20e6, Deadline: time.Second},
+			},
+			StartBudget: 20e6,
+			Key:         key,
+			OnMessage:   s.onMessage,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The mux registers a peer's conn before its first datagram is
+	// processed, so onMessage can always resolve the sender.
+	mux.SetOnConn(func(conn *wire.Conn, peer *net.UDPAddr) {
+		s.mu.Lock()
+		s.conns[peer.String()] = conn
+		s.mu.Unlock()
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.mux.LocalAddr().String() }
+
+// Clients reports how many client connections are live.
+func (s *Server) Clients() int { return len(s.mux.Conns()) }
+
+// Served reports how many calls were answered.
+func (s *Server) Served() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.mux.Close() }
+
+func (s *Server) onMessage(m wire.Message) {
+	if m.Stream != reqStream || len(m.Payload) < rpcHeader || m.Peer == nil {
+		return
+	}
+	s.mu.Lock()
+	conn := s.conns[m.Peer.String()]
+	s.mu.Unlock()
+	if conn == nil {
+		return // cannot happen after SetOnConn registration; defensive
+	}
+	id := binary.LittleEndian.Uint64(m.Payload)
+	method := m.Payload[8]
+	resp := s.handler(method, m.Payload[rpcHeader:])
+
+	out := make([]byte, rpcHeader+len(resp))
+	binary.LittleEndian.PutUint64(out, id)
+	out[8] = method
+	copy(out[rpcHeader:], resp)
+	if _, err := conn.Send(respStream, out); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+}
+
+// Client issues calls to a Server.
+type Client struct {
+	conn *wire.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan []byte
+	closed  bool
+
+	// Stats.
+	Calls     int64
+	Timeouts  int64
+	ShedCalls int64
+}
+
+// ClientConfig tunes a client.
+type ClientConfig struct {
+	// Key enables AES-GCM sealing (must match the server).
+	Key []byte
+	// RequestRate is the stream's declared rate in bits/s (default
+	// 10 Mb/s — roughly a compressed 30 FPS frame stream).
+	RequestRate float64
+	// RequestDeadline bounds transport-level retransmission usefulness
+	// (default 250 ms).
+	RequestDeadline time.Duration
+	// StartBudget seeds the congestion controller (default 10 Mb/s).
+	StartBudget float64
+}
+
+// Dial connects to a server.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.RequestRate <= 0 {
+		cfg.RequestRate = 10e6
+	}
+	if cfg.RequestDeadline <= 0 {
+		cfg.RequestDeadline = 250 * time.Millisecond
+	}
+	if cfg.StartBudget <= 0 {
+		cfg.StartBudget = 10e6
+	}
+	c := &Client{pending: make(map[uint64]chan []byte)}
+	conn, err := wire.Dial(addr, wire.Config{
+		Streams: []wire.StreamSpec{
+			{ID: reqStream, Class: core.ClassLossRecovery, Priority: core.PrioHighest,
+				Rate: cfg.RequestRate, Deadline: cfg.RequestDeadline},
+		},
+		StartBudget: cfg.StartBudget,
+		Key:         cfg.Key,
+		OnMessage:   c.onMessage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	return c, nil
+}
+
+// Close aborts all pending calls and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) onMessage(m wire.Message) {
+	if m.Stream != respStream || len(m.Payload) < rpcHeader {
+		return
+	}
+	id := binary.LittleEndian.Uint64(m.Payload)
+	resp := append([]byte(nil), m.Payload[rpcHeader:]...)
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- resp
+	}
+}
+
+// Call sends a request and waits up to deadline for the response.
+func (c *Client) Call(method uint8, req []byte, deadline time.Duration) ([]byte, error) {
+	if len(req)+rpcHeader > wire.MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooBig, len(req))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan []byte, 1)
+	c.pending[id] = ch
+	c.Calls++
+	c.mu.Unlock()
+
+	buf := make([]byte, rpcHeader+len(req))
+	binary.LittleEndian.PutUint64(buf, id)
+	buf[8] = method
+	copy(buf[rpcHeader:], req)
+
+	ok, err := c.conn.Send(reqStream, buf)
+	if err != nil || !ok {
+		c.mu.Lock()
+		delete(c.pending, id)
+		if !ok && err == nil {
+			c.ShedCalls++
+		}
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return nil, ErrShed
+	}
+
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case resp, open := <-ch:
+		if !open {
+			return nil, ErrClosed
+		}
+		return resp, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.Timeouts++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w after %v", ErrDeadline, deadline)
+	}
+}

@@ -1,0 +1,229 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"marnet/internal/wire"
+)
+
+const (
+	methodEcho  = 1
+	methodPose  = 2
+	methodSleep = 3
+)
+
+func testHandler(method uint8, req []byte) []byte {
+	switch method {
+	case methodEcho:
+		return req
+	case methodPose:
+		return []byte("pose:" + string(req))
+	case methodSleep:
+		time.Sleep(300 * time.Millisecond)
+		return []byte("late")
+	default:
+		return nil
+	}
+}
+
+func newPair(t *testing.T, key []byte) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", key, testHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(srv.Addr(), ClientConfig{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	srv, cl := newPair(t, nil)
+	resp, err := cl.Call(methodEcho, []byte("hello"), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("hello")) {
+		t.Fatalf("resp = %q", resp)
+	}
+	resp, err = cl.Call(methodPose, []byte("frame-7"), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "pose:frame-7" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if srv.Served() != 2 {
+		t.Errorf("served = %d", srv.Served())
+	}
+}
+
+func TestCallDeadline(t *testing.T) {
+	_, cl := newPair(t, nil)
+	_, err := cl.Call(methodSleep, nil, 50*time.Millisecond)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if cl.Timeouts != 1 {
+		t.Errorf("timeouts = %d", cl.Timeouts)
+	}
+}
+
+func TestCallEncrypted(t *testing.T) {
+	key := bytes.Repeat([]byte{3}, 16)
+	_, cl := newPair(t, key)
+	resp, err := cl.Call(methodEcho, []byte("secret"), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "secret" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, cl := newPair(t, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := []byte{byte(i)}
+			resp, err := cl.Call(methodEcho, req, 3*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(resp, req) {
+				errs <- errors.New("response mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCallThroughLossyRelay(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, testHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	relay, err := wire.NewRelay(srv.Addr(), 6, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	cl, err := Dial(relay.Addr(), ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	okCount := 0
+	for i := 0; i < 30; i++ {
+		if _, err := cl.Call(methodEcho, []byte{byte(i)}, 2*time.Second); err == nil {
+			okCount++
+		}
+	}
+	if okCount < 28 { // transport retransmission should repair nearly all
+		t.Errorf("only %d/30 calls succeeded through the lossy relay", okCount)
+	}
+	if relay.Dropped() == 0 {
+		t.Error("relay dropped nothing")
+	}
+}
+
+func TestCallValidation(t *testing.T) {
+	_, cl := newPair(t, nil)
+	if _, err := cl.Call(methodEcho, make([]byte, wire.MaxPayload), time.Second); !errors.Is(err, ErrTooBig) {
+		t.Errorf("oversize err = %v", err)
+	}
+	cl.Close()
+	if _, err := cl.Call(methodEcho, nil, time.Second); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed err = %v", err)
+	}
+	if _, err := NewServer("127.0.0.1:0", nil, nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+}
+
+func TestClientCloseUnblocksPending(t *testing.T) {
+	_, cl := newPair(t, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Call(methodSleep, nil, 5*time.Second)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cl.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call not unblocked by Close")
+	}
+}
+
+func TestServerServesMultipleClients(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil, testHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const nClients = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients*10)
+	for c := 0; c < nClients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr(), ClientConfig{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 10; i++ {
+				req := []byte{byte(c), byte(i)}
+				resp, err := cl.Call(methodEcho, req, 3*time.Second)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, req) {
+					errs <- errors.New("cross-client response corruption")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if srv.Served() != nClients*10 {
+		t.Errorf("served = %d, want %d", srv.Served(), nClients*10)
+	}
+	if srv.Clients() != nClients {
+		t.Errorf("clients = %d, want %d", srv.Clients(), nClients)
+	}
+}

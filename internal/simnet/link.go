@@ -1,0 +1,177 @@
+package simnet
+
+import (
+	"time"
+)
+
+// LinkStats aggregates what a link did during a run.
+type LinkStats struct {
+	SentPackets  int64 // packets fully serialized onto the wire
+	SentBytes    int64
+	Delivered    int64 // packets handed to the destination
+	LostPackets  int64 // packets dropped by the random-loss process
+	QueueDrops   int64 // packets rejected by the queue
+	MaxQueueLen  int
+	MaxQueueByte int
+}
+
+// Link is a unidirectional store-and-forward link: a queue, a serializer
+// running at Rate bits/s, a propagation delay with optional jitter, and a
+// random loss process. Links are shared objects: any number of senders may
+// Send into the same link, which is how competing flows contend for one
+// bottleneck (Figure 3).
+type Link struct {
+	sim *Sim
+
+	rate   float64       // bits per second
+	delay  time.Duration // one-way propagation delay
+	jitter time.Duration // extra delay uniform in [0, jitter)
+	lossP  float64       // per-packet loss probability on the wire
+	queue  Queue
+	dst    Handler
+	busy   bool
+	stats  LinkStats
+	onTx   func(*Packet) // optional tap at serialization time
+	name   string
+}
+
+// LinkOption configures a Link.
+type LinkOption func(*Link)
+
+// WithQueue sets the buffering discipline (default: DropTail of 1000
+// packets, the paper's "oversized kernel buffer").
+func WithQueue(q Queue) LinkOption { return func(l *Link) { l.queue = q } }
+
+// WithJitter adds a uniform extra delay in [0, j) per packet.
+func WithJitter(j time.Duration) LinkOption { return func(l *Link) { l.jitter = j } }
+
+// WithLoss sets the per-packet random loss probability.
+func WithLoss(p float64) LinkOption { return func(l *Link) { l.lossP = p } }
+
+// WithName labels the link for diagnostics.
+func WithName(name string) LinkOption { return func(l *Link) { l.name = name } }
+
+// WithTxTap installs a callback invoked when each packet begins
+// serialization.
+func WithTxTap(fn func(*Packet)) LinkOption { return func(l *Link) { l.onTx = fn } }
+
+// NewLink creates a link of rate bits/s and one-way propagation delay d,
+// delivering to dst.
+func NewLink(sim *Sim, rate float64, d time.Duration, dst Handler, opts ...LinkOption) *Link {
+	l := &Link{
+		sim:   sim,
+		rate:  rate,
+		delay: d,
+		dst:   dst,
+		queue: NewDropTail(1000),
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// Name returns the diagnostic label.
+func (l *Link) Name() string { return l.name }
+
+// Rate returns the current serialization rate in bits/s.
+func (l *Link) Rate() float64 { return l.rate }
+
+// SetRate changes the serialization rate for future transmissions. Channel
+// models use this to emulate rate adaptation and fading.
+func (l *Link) SetRate(bps float64) { l.rate = bps }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// SetDelay changes the propagation delay for future deliveries.
+func (l *Link) SetDelay(d time.Duration) { l.delay = d }
+
+// SetLoss changes the random loss probability.
+func (l *Link) SetLoss(p float64) { l.lossP = p }
+
+// Loss returns the current random loss probability.
+func (l *Link) Loss() float64 { return l.lossP }
+
+// Queue exposes the attached queue (for measurement).
+func (l *Link) Queue() Queue { return l.queue }
+
+// Stats returns a copy of the link counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Handle lets a Link act as a Handler so links can be chained directly.
+func (l *Link) Handle(pkt *Packet) { l.Send(pkt) }
+
+// Send enqueues pkt and starts the serializer if idle.
+func (l *Link) Send(pkt *Packet) {
+	if !l.queue.Enqueue(pkt, l.sim.Now()) {
+		l.stats.QueueDrops++
+		return
+	}
+	if n := l.queue.Len(); n > l.stats.MaxQueueLen {
+		l.stats.MaxQueueLen = n
+	}
+	if b := l.queue.Bytes(); b > l.stats.MaxQueueByte {
+		l.stats.MaxQueueByte = b
+	}
+	if !l.busy {
+		l.startTx()
+	}
+}
+
+func (l *Link) startTx() {
+	pkt := l.queue.Dequeue(l.sim.Now())
+	if pkt == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	if l.onTx != nil {
+		l.onTx(pkt)
+	}
+	txTime := l.serialization(pkt.Size)
+	l.stats.SentPackets++
+	l.stats.SentBytes += int64(pkt.Size)
+
+	// Wire propagation: decide loss and delivery time now, at the head of
+	// serialization, so reordering cannot occur on a FIFO wire.
+	lost := l.lossP > 0 && l.sim.Rand().Float64() < l.lossP
+	extra := time.Duration(0)
+	if l.jitter > 0 {
+		extra = time.Duration(l.sim.Rand().Int63n(int64(l.jitter)))
+	}
+	arrive := txTime + l.delay + extra
+	if lost {
+		l.stats.LostPackets++
+	} else {
+		l.sim.Schedule(arrive, func() {
+			l.stats.Delivered++
+			l.dst.Handle(pkt)
+		})
+	}
+	l.sim.Schedule(txTime, l.startTx)
+}
+
+func (l *Link) serialization(size int) time.Duration {
+	if l.rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size*8) / l.rate * float64(time.Second))
+}
+
+// Duplex couples two links into a bidirectional pipe between two handlers.
+type Duplex struct {
+	AtoB *Link
+	BtoA *Link
+}
+
+// NewDuplex builds a symmetric duplex pipe: both directions share rate,
+// delay and options (each direction gets its own fresh DropTail queue unless
+// WithQueue is supplied, in which case both directions share that queue —
+// pass per-direction options via NewLink instead for asymmetric setups).
+func NewDuplex(sim *Sim, rate float64, d time.Duration, a, b Handler, opts ...LinkOption) *Duplex {
+	return &Duplex{
+		AtoB: NewLink(sim, rate, d, b, opts...),
+		BtoA: NewLink(sim, rate, d, a, opts...),
+	}
+}

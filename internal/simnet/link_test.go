@@ -1,0 +1,260 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkSerializationAndDelay(t *testing.T) {
+	s := New(1)
+	col := NewCollector(s)
+	// 1 Mb/s, 10 ms propagation: a 1250-byte packet serializes in 10 ms.
+	link := NewLink(s, 1e6, 10*time.Millisecond, col)
+	link.Send(&Packet{ID: 1, Size: 1250})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() != 1 {
+		t.Fatalf("delivered %d packets, want 1", col.Count())
+	}
+	if got, want := col.Times[0], 20*time.Millisecond; got != want {
+		t.Errorf("delivery at %v, want %v", got, want)
+	}
+}
+
+func TestLinkBackToBackPackets(t *testing.T) {
+	s := New(1)
+	col := NewCollector(s)
+	link := NewLink(s, 1e6, 0, col)
+	for i := 0; i < 3; i++ {
+		link.Send(&Packet{ID: uint64(i), Size: 1250}) // 10 ms each
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i, w := range want {
+		if col.Times[i] != w {
+			t.Errorf("packet %d delivered at %v, want %v", i, col.Times[i], w)
+		}
+	}
+	st := link.Stats()
+	if st.SentPackets != 3 || st.SentBytes != 3750 || st.Delivered != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLinkQueueDrops(t *testing.T) {
+	s := New(1)
+	col := NewCollector(s)
+	link := NewLink(s, 1e6, 0, col, WithQueue(NewDropTail(2)))
+	// First packet starts transmitting immediately (dequeued), two fill the
+	// queue, the rest are dropped.
+	for i := 0; i < 10; i++ {
+		link.Send(&Packet{ID: uint64(i), Size: 1250})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() != 3 {
+		t.Errorf("delivered %d, want 3", col.Count())
+	}
+	if got := link.Stats().QueueDrops; got != 7 {
+		t.Errorf("queue drops = %d, want 7", got)
+	}
+}
+
+func TestLinkLossAllAndNone(t *testing.T) {
+	s := New(1)
+	col := NewCollector(s)
+	lossy := NewLink(s, 1e9, 0, col, WithLoss(1.0))
+	for i := 0; i < 50; i++ {
+		lossy.Send(&Packet{Size: 100})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() != 0 {
+		t.Errorf("loss=1 delivered %d packets", col.Count())
+	}
+	if got := lossy.Stats().LostPackets; got != 50 {
+		t.Errorf("lost = %d, want 50", got)
+	}
+
+	s2 := New(1)
+	col2 := NewCollector(s2)
+	clean := NewLink(s2, 1e9, 0, col2, WithLoss(0))
+	for i := 0; i < 50; i++ {
+		clean.Send(&Packet{Size: 100})
+	}
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col2.Count() != 50 {
+		t.Errorf("loss=0 delivered %d packets, want 50", col2.Count())
+	}
+}
+
+func TestLinkLossApproximatesProbability(t *testing.T) {
+	s := New(99)
+	sink := &Sink{}
+	link := NewLink(s, 1e9, 0, sink, WithLoss(0.3), WithQueue(NewDropTail(0)))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		link.Send(&Packet{Size: 100})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lost := float64(link.Stats().LostPackets) / n
+	if lost < 0.27 || lost > 0.33 {
+		t.Errorf("empirical loss = %v, want ~0.3", lost)
+	}
+}
+
+func TestLinkJitterBounds(t *testing.T) {
+	s := New(5)
+	col := NewCollector(s)
+	link := NewLink(s, 1e9, 10*time.Millisecond, col, WithJitter(5*time.Millisecond))
+	// Send packets spaced far apart so queueing doesn't matter.
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*time.Second, func() {
+			link.Send(&Packet{Size: 100})
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, at := range col.Times {
+		base := time.Duration(i) * time.Second
+		lat := at - base
+		if lat < 10*time.Millisecond || lat >= 15*time.Millisecond+time.Millisecond {
+			t.Fatalf("packet %d latency %v outside [10ms, 15ms+ser)", i, lat)
+		}
+	}
+}
+
+func TestLinkRateChange(t *testing.T) {
+	s := New(1)
+	col := NewCollector(s)
+	link := NewLink(s, 1e6, 0, col)
+	link.Send(&Packet{Size: 1250}) // 10 ms at 1 Mb/s
+	s.Schedule(5*time.Millisecond, func() { link.SetRate(2e6) })
+	s.Schedule(11*time.Millisecond, func() { link.Send(&Packet{Size: 1250}) }) // 5 ms at 2 Mb/s
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Times[0] != 10*time.Millisecond {
+		t.Errorf("first delivery %v, want 10ms", col.Times[0])
+	}
+	if col.Times[1] != 16*time.Millisecond {
+		t.Errorf("second delivery %v, want 16ms", col.Times[1])
+	}
+}
+
+func TestRouterAndDemux(t *testing.T) {
+	s := New(1)
+	demux := NewDemux()
+	colA := NewCollector(s)
+	colB := NewCollector(s)
+	demux.Register(Addr(1), colA)
+	demux.Register(Addr(2), colB)
+	router := NewRouter()
+	link := NewLink(s, 1e9, time.Millisecond, demux)
+	router.Route(Addr(1), link)
+	router.Route(Addr(2), link)
+
+	router.Handle(&Packet{Dst: 1, Size: 10})
+	router.Handle(&Packet{Dst: 2, Size: 10})
+	router.Handle(&Packet{Dst: 3, Size: 10}) // no route
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if colA.Count() != 1 || colB.Count() != 1 {
+		t.Errorf("colA=%d colB=%d, want 1 and 1", colA.Count(), colB.Count())
+	}
+	if router.Dropped() != 1 {
+		t.Errorf("router dropped = %d, want 1", router.Dropped())
+	}
+}
+
+func TestDemuxFallbackAndDrop(t *testing.T) {
+	d := NewDemux()
+	d.Handle(&Packet{Dst: 9})
+	if d.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", d.Dropped())
+	}
+	fb := &Sink{}
+	d.SetFallback(fb)
+	d.Handle(&Packet{Dst: 9})
+	if fb.N != 1 {
+		t.Errorf("fallback got %d, want 1", fb.N)
+	}
+}
+
+func TestNewPathChainsHops(t *testing.T) {
+	s := New(1)
+	col := NewCollector(s)
+	// Two hops: 1 Mb/s + 10 ms, then 2 Mb/s + 5 ms.
+	ingress := NewPath(s, col,
+		Hop(1e6, 10*time.Millisecond),
+		Hop(2e6, 5*time.Millisecond),
+	)
+	ingress.Send(&Packet{Size: 1250}) // 10ms ser + 10ms prop + 5ms ser + 5ms prop = 30ms
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() != 1 {
+		t.Fatal("packet not delivered")
+	}
+	if got, want := col.Times[0], 30*time.Millisecond; got != want {
+		t.Errorf("delivery at %v, want %v", got, want)
+	}
+}
+
+func TestDropTailByteLimit(t *testing.T) {
+	q := &DropTail{MaxBytes: 2000}
+	ok1 := q.Enqueue(&Packet{Size: 1500}, 0)
+	ok2 := q.Enqueue(&Packet{Size: 600}, 0) // would exceed 2000
+	ok3 := q.Enqueue(&Packet{Size: 500}, 0)
+	if !ok1 || ok2 || !ok3 {
+		t.Errorf("enqueue results = %v %v %v, want true false true", ok1, ok2, ok3)
+	}
+	if q.Bytes() != 2000 || q.Len() != 2 || q.Drops() != 1 {
+		t.Errorf("bytes=%d len=%d drops=%d", q.Bytes(), q.Len(), q.Drops())
+	}
+}
+
+func TestDropTailFIFOAndCompaction(t *testing.T) {
+	q := NewDropTail(0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		q.Enqueue(&Packet{ID: uint64(i), Size: 1}, 0)
+	}
+	for i := 0; i < n; i++ {
+		pkt := q.Dequeue(0)
+		if pkt == nil || pkt.ID != uint64(i) {
+			t.Fatalf("dequeue %d: got %+v", i, pkt)
+		}
+	}
+	if q.Dequeue(0) != nil {
+		t.Error("empty queue should return nil")
+	}
+	if q.Len() != 0 || q.Bytes() != 0 {
+		t.Errorf("len=%d bytes=%d after drain", q.Len(), q.Bytes())
+	}
+}
+
+func TestCollectorAndSink(t *testing.T) {
+	c := NewCollector(nil)
+	c.Handle(&Packet{Size: 7})
+	if c.Count() != 1 || c.Bytes != 7 {
+		t.Errorf("collector count=%d bytes=%d", c.Count(), c.Bytes)
+	}
+	var sk Sink
+	sk.Handle(&Packet{})
+	if sk.N != 1 {
+		t.Errorf("sink N=%d", sk.N)
+	}
+}

@@ -1,0 +1,135 @@
+package simnet
+
+import "time"
+
+// Demux dispatches packets to per-address handlers by destination. It is the
+// terminal element of most topologies: endpoints register themselves under
+// their address.
+type Demux struct {
+	handlers map[Addr]Handler
+	fallback Handler
+	dropped  int64
+}
+
+// NewDemux returns an empty demultiplexer.
+func NewDemux() *Demux {
+	return &Demux{handlers: make(map[Addr]Handler)}
+}
+
+// Register binds addr to h, replacing any previous binding.
+func (d *Demux) Register(addr Addr, h Handler) { d.handlers[addr] = h }
+
+// SetFallback installs a handler for packets whose destination is unknown.
+func (d *Demux) SetFallback(h Handler) { d.fallback = h }
+
+// Dropped reports packets that had no handler and no fallback.
+func (d *Demux) Dropped() int64 { return d.dropped }
+
+// Handle routes pkt by destination address.
+func (d *Demux) Handle(pkt *Packet) {
+	if h, ok := d.handlers[pkt.Dst]; ok {
+		h.Handle(pkt)
+		return
+	}
+	if d.fallback != nil {
+		d.fallback.Handle(pkt)
+		return
+	}
+	d.dropped++
+}
+
+// Router forwards packets onto next-hop links by destination address. It
+// models a store-and-forward IP router with negligible lookup cost (the
+// attached links model all delay).
+type Router struct {
+	routes   map[Addr]Handler
+	fallback Handler
+	dropped  int64
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{routes: make(map[Addr]Handler)}
+}
+
+// Route installs a next hop for addr.
+func (r *Router) Route(addr Addr, next Handler) { r.routes[addr] = next }
+
+// SetDefault installs the default next hop.
+func (r *Router) SetDefault(next Handler) { r.fallback = next }
+
+// Dropped reports packets with no matching route.
+func (r *Router) Dropped() int64 { return r.dropped }
+
+// Handle forwards pkt toward its destination.
+func (r *Router) Handle(pkt *Packet) {
+	if next, ok := r.routes[pkt.Dst]; ok {
+		next.Handle(pkt)
+		return
+	}
+	if r.fallback != nil {
+		r.fallback.Handle(pkt)
+		return
+	}
+	r.dropped++
+}
+
+// Collector records every packet it receives, for tests and measurement.
+type Collector struct {
+	Packets []*Packet
+	Bytes   int64
+	Times   []time.Duration
+	sim     *Sim
+}
+
+// NewCollector returns a collector stamping arrivals with sim time.
+func NewCollector(sim *Sim) *Collector { return &Collector{sim: sim} }
+
+// Handle records pkt.
+func (c *Collector) Handle(pkt *Packet) {
+	c.Packets = append(c.Packets, pkt)
+	c.Bytes += int64(pkt.Size)
+	if c.sim != nil {
+		c.Times = append(c.Times, c.sim.Now())
+	}
+}
+
+// Count reports the number of packets received.
+func (c *Collector) Count() int { return len(c.Packets) }
+
+// Sink silently discards packets (a /dev/null endpoint).
+type Sink struct{ N int64 }
+
+// Handle discards pkt.
+func (s *Sink) Handle(*Packet) { s.N++ }
+
+// Chain builds a multi-hop unidirectional path from a sequence of links:
+// each link delivers into the next; the last delivers to dst. It returns the
+// ingress handler. Links must be freshly constructed with a nil destination
+// chain position; Chain rewires their destinations.
+type hop struct {
+	Rate  float64
+	Delay time.Duration
+	Opts  []LinkOption
+}
+
+// PathSpec describes one hop of a Path.
+type PathSpec = hop
+
+// Hop constructs a PathSpec.
+func Hop(rate float64, delay time.Duration, opts ...LinkOption) PathSpec {
+	return PathSpec{Rate: rate, Delay: delay, Opts: opts}
+}
+
+// NewPath builds a chain of store-and-forward links described by specs,
+// terminating at dst, and returns the ingress link.
+func NewPath(sim *Sim, dst Handler, specs ...PathSpec) *Link {
+	next := dst
+	var first *Link
+	for i := len(specs) - 1; i >= 0; i-- {
+		sp := specs[i]
+		first = NewLink(sim, sp.Rate, sp.Delay, next, sp.Opts...)
+		next = first
+	}
+	return first
+}

@@ -1,0 +1,159 @@
+// Package simnet is a deterministic packet-level discrete-event network
+// simulator. It provides a simulated clock, an event queue, packets,
+// rate/delay/loss-modelled links, queues, and simple forwarding nodes.
+//
+// The simulator is single-threaded: callbacks run on the goroutine that
+// calls Run, in strict timestamp order, so protocol implementations built on
+// top of it need no locking. All randomness flows through one seeded
+// *rand.Rand, making every run reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrHorizon is returned by Run when the event limit is exceeded, which
+// almost always indicates a scheduling loop in a protocol implementation.
+var ErrHorizon = errors.New("simnet: event limit exceeded")
+
+// Event is a scheduled callback. Events may be cancelled before they fire.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// At reports the simulated time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation instance.
+type Sim struct {
+	now      time.Duration
+	events   eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	pktID    uint64
+	maxEvent int
+}
+
+// New returns a simulator whose random stream is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:      rand.New(rand.NewSource(seed)),
+		maxEvent: 200_000_000,
+	}
+}
+
+// Now reports the current simulated time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule arranges fn to run after delay. A negative delay is treated as
+// zero (run "now", after currently queued same-time events).
+func (s *Sim) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt arranges fn to run at absolute simulated time t. Times in the
+// past are clamped to the current time.
+func (s *Sim) ScheduleAt(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Run executes events until the queue is empty. It returns ErrHorizon if the
+// configured event limit is exceeded.
+func (s *Sim) Run() error { return s.RunUntil(1<<62 - 1) }
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. It returns ErrHorizon if the event limit is exceeded.
+func (s *Sim) RunUntil(t time.Duration) error {
+	fired := 0
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > t {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.at
+		next.fn()
+		fired++
+		if fired > s.maxEvent {
+			return ErrHorizon
+		}
+	}
+	if t < 1<<62-1 && t > s.now {
+		s.now = t
+	}
+	return nil
+}
+
+// SetEventLimit overrides the runaway-loop protection limit.
+func (s *Sim) SetEventLimit(n int) { s.maxEvent = n }
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// NextPacketID returns a process-unique packet identifier.
+func (s *Sim) NextPacketID() uint64 {
+	s.pktID++
+	return s.pktID
+}

@@ -1,0 +1,189 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Schedule(3*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(1*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Errorf("Now = %v, want 3ms", s.Now())
+	}
+}
+
+func TestScheduleFIFOAtSameTime(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleNegativeDelayClamped(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if s.Now() != 0 {
+		t.Errorf("Now = %v, want 0", s.Now())
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.Schedule(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Error("Cancelled() should be true")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling nil or twice must not panic.
+	var nilEv *Event
+	nilEv.Cancel()
+	e.Cancel()
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.Schedule(10*time.Millisecond, func() { at = s.Now() })
+	s.Schedule(100*time.Millisecond, func() { t.Error("should not fire") })
+	if err := s.RunUntil(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if at != 10*time.Millisecond {
+		t.Errorf("event at %v, want 10ms", at)
+	}
+	if s.Now() != 50*time.Millisecond {
+		t.Errorf("Now = %v, want 50ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	s := New(1)
+	s.SetEventLimit(100)
+	var loop func()
+	loop = func() { s.Schedule(time.Nanosecond, loop) }
+	s.Schedule(0, loop)
+	if err := s.Run(); err != ErrHorizon {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var hits []time.Duration
+	s.Schedule(time.Millisecond, func() {
+		hits = append(hits, s.Now())
+		s.Schedule(time.Millisecond, func() {
+			hits = append(hits, s.Now())
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 || hits[0] != time.Millisecond || hits[1] != 2*time.Millisecond {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+// Property: regardless of insertion order, events fire in timestamp order
+// with ties broken by insertion order.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New(7)
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			i := i
+			at := time.Duration(d) * time.Microsecond
+			s.ScheduleAt(at, func() { fired = append(fired, rec{s.Now(), i}) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New(42)
+		sink := &Sink{}
+		link := NewLink(s, 1e6, 5*time.Millisecond, sink, WithJitter(2*time.Millisecond), WithLoss(0.1))
+		col := NewCollector(s)
+		link2 := NewLink(s, 1e6, time.Millisecond, col)
+		for i := 0; i < 100; i++ {
+			pkt := &Packet{ID: s.NextPacketID(), Size: 1000}
+			link.Send(pkt)
+			link2.Send(&Packet{ID: s.NextPacketID(), Size: 500})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return col.Times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Duration(i)*time.Nanosecond, func() { n++ })
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("fired %d of %d", n, b.N)
+	}
+}
+
+func BenchmarkLinkPacketForwarding(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	sink := &Sink{}
+	link := NewLink(s, 1e12, time.Microsecond, sink, WithQueue(NewDropTail(0)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Send(&Packet{ID: uint64(i), Size: 1500})
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if sink.N != int64(b.N) {
+		b.Fatalf("delivered %d of %d", sink.N, b.N)
+	}
+}
+
+func BenchmarkThreeHopPath(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	sink := &Sink{}
+	ingress := NewPath(s, sink,
+		Hop(1e12, time.Microsecond, WithQueue(NewDropTail(0))),
+		Hop(1e12, time.Microsecond, WithQueue(NewDropTail(0))),
+		Hop(1e12, time.Microsecond, WithQueue(NewDropTail(0))),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ingress.Send(&Packet{ID: uint64(i), Size: 1500})
+	}
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkDropTail(b *testing.B) {
+	q := NewDropTail(0)
+	pkt := &Packet{Size: 1500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkt, 0)
+		q.Dequeue(0)
+	}
+}

@@ -1,0 +1,68 @@
+package tcp
+
+import (
+	"math"
+	"time"
+)
+
+// CUBIC congestion avoidance (RFC 8312): after a loss the window regrows
+// along W(t) = C·(t−K)³ + Wmax, concave up to the previous maximum and
+// convex beyond it. Compared to Reno it recovers high-BDP paths far
+// faster, which is why it is the second baseline next to Reno in the
+// benchmark harness: the paper's argument — that even modern loss-based
+// congestion control misbehaves for MAR traffic — should not hinge on an
+// antique baseline.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// Algorithm selects the sender's congestion avoidance behaviour.
+type Algorithm int
+
+// Supported algorithms.
+const (
+	Reno Algorithm = iota + 1
+	Cubic
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Reno:
+		return "reno"
+	case Cubic:
+		return "cubic"
+	default:
+		return "unknown"
+	}
+}
+
+// cubicState tracks the RFC 8312 variables.
+type cubicState struct {
+	wMax       float64       // window before the last reduction, segments
+	epochStart time.Duration // start of the current growth epoch
+	k          float64       // time (s) to regrow to wMax
+	active     bool
+}
+
+// onLoss records a multiplicative decrease event.
+func (c *cubicState) onLoss(cwnd float64) {
+	c.wMax = cwnd
+	c.active = false // epoch restarts on the next ACK
+}
+
+// target returns the CUBIC window for the current time, (re)initializing
+// the epoch if needed.
+func (c *cubicState) target(now time.Duration, cwnd float64) float64 {
+	if !c.active {
+		c.active = true
+		c.epochStart = now
+		if c.wMax < cwnd {
+			c.wMax = cwnd
+		}
+		c.k = math.Cbrt(c.wMax * (1 - cubicBeta) / cubicC)
+	}
+	t := (now - c.epochStart).Seconds()
+	return cubicC*math.Pow(t-c.k, 3) + c.wMax
+}

@@ -1,0 +1,101 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/simnet"
+)
+
+func TestAlgorithmString(t *testing.T) {
+	if Reno.String() != "reno" || Cubic.String() != "cubic" || Algorithm(0).String() != "unknown" {
+		t.Error("algorithm strings wrong")
+	}
+}
+
+func TestCubicTransferCompletes(t *testing.T) {
+	sim := simnet.New(11)
+	cm, sm := simnet.NewDemux(), simnet.NewDemux()
+	up := simnet.NewLink(sim, 10e6, 10*time.Millisecond, sm, simnet.WithLoss(0.01))
+	down := simnet.NewLink(sim, 10e6, 10*time.Millisecond, cm)
+	s := NewSender(sim, SenderConfig{
+		Src: 1, Dst: 2, Flow: 1, Out: up, LimitBytes: 1 << 20, Algo: Cubic,
+	})
+	r := NewReceiver(sim, 2, 1, 1, down)
+	cm.Register(1, s)
+	sm.Register(2, r)
+	s.Start()
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Completed() {
+		t.Fatal("cubic transfer did not complete")
+	}
+}
+
+// runLongFat measures bytes acked after a fixed time on a high-BDP link
+// with one early loss event, for a given algorithm.
+func runLongFat(t *testing.T, algo Algorithm) int64 {
+	t.Helper()
+	sim := simnet.New(7)
+	cm, sm := simnet.NewDemux(), simnet.NewDemux()
+	// 100 Mb/s, 50 ms one-way: BDP ~ 430 segments. The receive window is
+	// capped near path capacity (BDP + buffer), as auto-tuned stacks do —
+	// without SACK, a cap far beyond capacity lets any loss-based sender
+	// overshoot into a thousand-hole NewReno recovery crawl.
+	var dropped bool
+	up := simnet.NewLink(sim, 100e6, 50*time.Millisecond, sm, simnet.WithQueue(simnet.NewDropTail(200)))
+	filter := simnet.HandlerFunc(func(pkt *simnet.Packet) {
+		// Force one loss early so both algorithms leave slow start and
+		// enter their respective recovery-growth regimes.
+		if !dropped && pkt.Kind == KindData && pkt.Seq == 120 {
+			dropped = true
+			return
+		}
+		up.Handle(pkt)
+	})
+	down := simnet.NewLink(sim, 100e6, 50*time.Millisecond, cm)
+	s := NewSender(sim, SenderConfig{
+		Src: 1, Dst: 2, Flow: 1, Out: filter, Algo: algo, MaxCwnd: 600,
+	})
+	r := NewReceiver(sim, 2, 1, 1, down)
+	cm.Register(1, s)
+	sm.Register(2, r)
+	s.Start()
+	if err := sim.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return s.AckedBytes()
+}
+
+func TestCubicOutgrowsRenoOnLongFatPath(t *testing.T) {
+	reno := runLongFat(t, Reno)
+	cubic := runLongFat(t, Cubic)
+	if cubic <= reno {
+		t.Errorf("cubic acked %d <= reno %d on a long fat path", cubic, reno)
+	}
+	// The gap should be substantial (Reno adds 1 MSS/RTT from ~half BDP).
+	if float64(cubic) < 1.2*float64(reno) {
+		t.Errorf("cubic advantage too small: %d vs %d", cubic, reno)
+	}
+}
+
+func TestCubicStateEvolution(t *testing.T) {
+	var c cubicState
+	c.onLoss(100)
+	// First target call starts the epoch; at t=0 the window is below wMax.
+	w0 := c.target(0, 70)
+	if w0 >= 100 {
+		t.Errorf("window at epoch start = %v, want < wMax", w0)
+	}
+	// At t=K the curve crosses wMax.
+	atK := c.target(time.Duration(c.k*float64(time.Second)), 70)
+	if atK < 99 || atK > 101 {
+		t.Errorf("window at K = %v, want ~100", atK)
+	}
+	// Convex growth beyond.
+	later := c.target(time.Duration((c.k+2)*float64(time.Second)), 70)
+	if later <= atK {
+		t.Errorf("no convex growth: %v <= %v", later, atK)
+	}
+}

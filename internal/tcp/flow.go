@@ -1,0 +1,69 @@
+package tcp
+
+import (
+	"time"
+
+	"marnet/internal/simnet"
+	"marnet/internal/trace"
+)
+
+// Flow bundles the two halves of a unidirectional TCP transfer and wires
+// them into a topology's demultiplexers.
+type Flow struct {
+	Sender   *Sender
+	Receiver *Receiver
+}
+
+// FlowConfig describes a transfer through a topology.
+type FlowConfig struct {
+	// SenderAddr/ReceiverAddr are the endpoints' topology addresses.
+	SenderAddr, ReceiverAddr simnet.Addr
+	// FlowID labels packets for fair queueing.
+	FlowID uint64
+	// Forward is the egress from the sender toward the receiver; Reverse is
+	// the egress from the receiver back toward the sender (the ACK path).
+	Forward, Reverse simnet.Handler
+	// SenderDemux/ReceiverDemux are where each half registers to receive
+	// its packets. May be nil if the caller wires delivery manually.
+	SenderDemux, ReceiverDemux *simnet.Demux
+	// LimitBytes bounds the transfer; 0 = unbounded.
+	LimitBytes int64
+	// MaxCwnd clamps the window in segments (default 500).
+	MaxCwnd float64
+	// Algo selects congestion avoidance (default Reno).
+	Algo Algorithm
+	// GoodputBin, when nonzero, attaches a goodput sampler with that bin.
+	GoodputBin time.Duration
+	// TraceCwnd attaches a congestion-window series when true.
+	TraceCwnd bool
+}
+
+// NewFlow constructs both halves and registers them. Call Start to begin.
+func NewFlow(sim *simnet.Sim, cfg FlowConfig) *Flow {
+	s := NewSender(sim, SenderConfig{
+		Src:        cfg.SenderAddr,
+		Dst:        cfg.ReceiverAddr,
+		Flow:       cfg.FlowID,
+		Out:        cfg.Forward,
+		LimitBytes: cfg.LimitBytes,
+		MaxCwnd:    cfg.MaxCwnd,
+		Algo:       cfg.Algo,
+	})
+	r := NewReceiver(sim, cfg.ReceiverAddr, cfg.SenderAddr, cfg.FlowID, cfg.Reverse)
+	if cfg.GoodputBin > 0 {
+		r.Goodput = trace.NewThroughput(cfg.GoodputBin)
+	}
+	if cfg.TraceCwnd {
+		s.CwndTrace = trace.NewSeries("cwnd")
+	}
+	if cfg.SenderDemux != nil {
+		cfg.SenderDemux.Register(cfg.SenderAddr, s)
+	}
+	if cfg.ReceiverDemux != nil {
+		cfg.ReceiverDemux.Register(cfg.ReceiverAddr, r)
+	}
+	return &Flow{Sender: s, Receiver: r}
+}
+
+// Start begins the transfer.
+func (f *Flow) Start() { f.Sender.Start() }

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteCSV emits the union of the series' time points as CSV: a header of
+// "seconds,<name>,..." then one row per distinct timestamp, each series
+// contributing its most recent value at that time. This is the
+// machine-readable form of a figure — feed it to any plotting tool to
+// redraw the paper's curves.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	times := map[time.Duration]bool{}
+	for _, s := range series {
+		if s == nil {
+			continue
+		}
+		for _, t := range s.Times {
+			times[t] = true
+		}
+	}
+	order := make([]time.Duration, 0, len(times))
+	for t := range times {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	header := "seconds"
+	for _, s := range series {
+		name := "series"
+		if s != nil && s.Name != "" {
+			name = s.Name
+		}
+		header += "," + name
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, t := range order {
+		row := strconv.FormatFloat(t.Seconds(), 'f', 6, 64)
+		for _, s := range series {
+			v := 0.0
+			if s != nil {
+				v = s.At(t)
+			}
+			row += "," + strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

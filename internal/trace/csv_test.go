@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	a := NewSeries("down")
+	a.Add(time.Second, 10)
+	a.Add(2*time.Second, 20)
+	b := NewSeries("up")
+	b.Add(1500*time.Millisecond, 5)
+
+	var sb strings.Builder
+	if err := WriteCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "seconds,down,up" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // header + 3 distinct timestamps
+		t.Fatalf("lines = %d: %v", len(lines), lines)
+	}
+	// At t=1.5s: down holds 10, up is 5.
+	if lines[2] != "1.500000,10,5" {
+		t.Errorf("row = %q", lines[2])
+	}
+	// At t=2s: down 20, up holds 5.
+	if lines[3] != "2.000000,20,5" {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestWriteCSVHandlesNilAndUnnamed(t *testing.T) {
+	s := &Series{}
+	s.Add(time.Second, 1)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, nil, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "seconds,series,series") {
+		t.Errorf("header = %q", strings.SplitN(sb.String(), "\n", 2)[0])
+	}
+}

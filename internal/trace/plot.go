@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// ASCIIPlot renders one or more series as a terminal chart: time on the X
+// axis, value on Y, one glyph per series. It is how cmd/marbench draws the
+// actual curves of Figures 3 and 4 rather than just their summary rows.
+func ASCIIPlot(width, height int, series ...*Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+
+	var tMax time.Duration
+	var vMax float64
+	any := false
+	for _, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		any = true
+		if last := s.Times[s.Len()-1]; last > tMax {
+			tMax = last
+		}
+		if m := s.Max(); m > vMax {
+			vMax = m
+		}
+	}
+	if !any || tMax == 0 {
+		return "(no data)\n"
+	}
+	if vMax == 0 {
+		vMax = 1
+	}
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		g := glyphs[si%len(glyphs)]
+		for x := 0; x < width; x++ {
+			t := time.Duration(float64(tMax) * float64(x) / float64(width-1))
+			v := s.At(t)
+			y := int(math.Round(v / vMax * float64(height-1)))
+			if y < 0 {
+				y = 0
+			}
+			if y > height-1 {
+				y = height - 1
+			}
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", vMax, string(grid[0]))
+	for y := 1; y < height; y++ {
+		label := ""
+		if y == height-1 {
+			label = "0"
+		}
+		fmt.Fprintf(&b, "%10s ┤%s\n", label, string(grid[y]))
+	}
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  0%s%v\n", "", strings.Repeat(" ", width-len(fmt.Sprint(tMax))-1), tMax)
+	var legend []string
+	for si, s := range series {
+		if s == nil {
+			continue
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// Downsample returns a copy of the series averaged into at most n points
+// (keeps plots readable for long runs).
+func Downsample(s *Series, n int) *Series {
+	if s == nil || s.Len() <= n || n < 1 {
+		return s
+	}
+	out := NewSeries(s.Name)
+	per := (s.Len() + n - 1) / n
+	for i := 0; i < s.Len(); i += per {
+		end := i + per
+		if end > s.Len() {
+			end = s.Len()
+		}
+		var sum float64
+		for j := i; j < end; j++ {
+			sum += s.Values[j]
+		}
+		out.Add(s.Times[i], sum/float64(end-i))
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestASCIIPlotBasics(t *testing.T) {
+	s := NewSeries("ramp")
+	for i := 0; i <= 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	out := ASCIIPlot(40, 8, s)
+	if !strings.Contains(out, "*") {
+		t.Error("plot contains no data glyphs")
+	}
+	if !strings.Contains(out, "ramp") {
+		t.Error("plot missing legend")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8+3 { // height grid rows + axis + timeline + legend
+		t.Errorf("plot has %d lines, want %d", len(lines), 8+3)
+	}
+	// The ramp should touch the top row at the right edge and the bottom
+	// at the left.
+	if !strings.Contains(lines[0], "*") {
+		t.Error("max row empty")
+	}
+}
+
+func TestASCIIPlotMultiSeriesAndEmpty(t *testing.T) {
+	a := NewSeries("a")
+	b := NewSeries("b")
+	a.Add(0, 1)
+	a.Add(time.Second, 2)
+	b.Add(0, 2)
+	b.Add(time.Second, 1)
+	out := ASCIIPlot(30, 6, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("multi-series glyphs missing")
+	}
+	if got := ASCIIPlot(30, 6); got != "(no data)\n" {
+		t.Errorf("empty plot = %q", got)
+	}
+	if got := ASCIIPlot(30, 6, NewSeries("empty")); got != "(no data)\n" {
+		t.Errorf("empty-series plot = %q", got)
+	}
+}
+
+func TestASCIIPlotClampsTinyDimensions(t *testing.T) {
+	s := NewSeries("x")
+	s.Add(time.Second, 5)
+	out := ASCIIPlot(1, 1, s)
+	if out == "" {
+		t.Error("tiny plot empty")
+	}
+}
+
+func TestASCIIPlotAllZeroValues(t *testing.T) {
+	s := NewSeries("flat")
+	s.Add(0, 0)
+	s.Add(time.Second, 0)
+	out := ASCIIPlot(20, 4, s)
+	if out == "(no data)\n" {
+		t.Error("zero-valued series should still plot a baseline")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewSeries("big")
+	for i := 0; i < 1000; i++ {
+		s.Add(time.Duration(i)*time.Millisecond, float64(i%10))
+	}
+	d := Downsample(s, 50)
+	if d.Len() > 50 {
+		t.Errorf("downsampled to %d points, want <= 50", d.Len())
+	}
+	if d.Name != "big" {
+		t.Error("name lost")
+	}
+	// Mean is preserved approximately.
+	if diff := d.Mean() - s.Mean(); diff > 1 || diff < -1 {
+		t.Errorf("mean drifted by %v", diff)
+	}
+	// No-ops.
+	if Downsample(s, 0) != s || Downsample(nil, 10) != nil {
+		t.Error("degenerate downsample should return input")
+	}
+	small := NewSeries("small")
+	small.Add(0, 1)
+	if Downsample(small, 10) != small {
+		t.Error("already-small series should be returned as-is")
+	}
+}

@@ -1,0 +1,44 @@
+package vision_test
+
+import (
+	"fmt"
+
+	"marnet/internal/vision"
+)
+
+// Recover an exact perspective transform from four point correspondences.
+func ExampleSolveHomography() {
+	src := [4]vision.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100, Y: 100}, {X: 0, Y: 100}}
+	dst := [4]vision.Point{{X: 10, Y: 5}, {X: 110, Y: 5}, {X: 110, Y: 105}, {X: 10, Y: 105}}
+	h, err := vision.SolveHomography(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	x, y, _ := h.Apply(50, 50)
+	fmt.Printf("(50,50) -> (%.0f,%.0f)\n", x, y)
+	// Output: (50,50) -> (60,55)
+}
+
+// Ship features instead of pixels: serialize, transmit, deserialize.
+func ExampleEncodeFeatures() {
+	frame := vision.Scene(vision.SceneConfig{W: 160, H: 120, Rects: 15, NoiseStd: 1}, 3)
+	feats := vision.Describe(frame, vision.DetectFAST(frame, 20, 10)) // 2 of the 10 sit too close to the border for BRIEF
+
+	wire := vision.EncodeFeatures(nil, feats)
+	back, err := vision.DecodeFeatures(wire)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d features, %d wire bytes vs %d frame bytes, lossless=%v\n",
+		len(feats), len(wire), frame.Bytes(), back[0].Desc == feats[0].Desc)
+	// Output: 8 features, 320 wire bytes vs 19200 frame bytes, lossless=true
+}
+
+// Scrub privacy-sensitive regions before a frame leaves the device.
+func ExampleRedact() {
+	frame := vision.Scene(vision.SceneConfig{W: 160, H: 120, Rects: 15, NoiseStd: 1}, 3)
+	region := []vision.Rect{{MinX: 40, MinY: 30, MaxX: 120, MaxY: 90}}
+	clean := vision.Redact(frame, region, vision.RedactFill, 0)
+	fmt.Printf("leak score: %.2f\n", vision.LeakScore(frame, clean, region, 20))
+	// Output: leak score: 0.00
+}

@@ -1,0 +1,53 @@
+package vision
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Feature wire format, FeatureWireBytes per feature:
+//
+//	off size field
+//	0   2    x (uint16)
+//	2   2    y (uint16)
+//	4   4    score (uint32)
+//	8   32   descriptor
+//
+// EncodeFeatures/DecodeFeatures are what a CloudRidAR-style pipeline ships
+// instead of pixels: position + descriptor, ~40 bytes per feature versus
+// kilobytes per frame region.
+
+// ErrBadFeatureBuf is returned for malformed serialized features.
+var ErrBadFeatureBuf = errors.New("vision: malformed feature buffer")
+
+// EncodeFeatures serializes features (appending to dst).
+func EncodeFeatures(dst []byte, feats []Feature) []byte {
+	for _, f := range feats {
+		var rec [FeatureWireBytes]byte
+		binary.LittleEndian.PutUint16(rec[0:], uint16(f.Kp.X))
+		binary.LittleEndian.PutUint16(rec[2:], uint16(f.Kp.Y))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(f.Kp.Score))
+		copy(rec[8:], f.Desc[:])
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// DecodeFeatures parses a buffer produced by EncodeFeatures.
+func DecodeFeatures(buf []byte) ([]Feature, error) {
+	if len(buf)%FeatureWireBytes != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadFeatureBuf, len(buf))
+	}
+	out := make([]Feature, 0, len(buf)/FeatureWireBytes)
+	for off := 0; off < len(buf); off += FeatureWireBytes {
+		rec := buf[off : off+FeatureWireBytes]
+		var f Feature
+		f.Kp.X = int(binary.LittleEndian.Uint16(rec[0:]))
+		f.Kp.Y = int(binary.LittleEndian.Uint16(rec[2:]))
+		f.Kp.Score = int(binary.LittleEndian.Uint32(rec[4:]))
+		copy(f.Desc[:], rec[8:])
+		out = append(out, f)
+	}
+	return out, nil
+}

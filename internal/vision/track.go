@@ -1,0 +1,105 @@
+package vision
+
+import "math"
+
+// Tracker follows a template patch across frames by normalized
+// cross-correlation over a bounded search window. This is the cheap local
+// operation Glimpse-style pipelines run on the device between offloaded
+// recognitions (Section III-B: "Glimpse improves network efficiency by
+// performing local tracking of objects and only offload a selected number
+// of frames").
+type Tracker struct {
+	tmpl   *Frame
+	cx, cy int // current estimated center
+	half   int
+	search int
+	minNCC float64
+	lost   bool
+}
+
+// NewTracker captures a (2*half+1)² template around (cx, cy) in the frame.
+// search bounds the displacement examined per Update; minNCC is the
+// correlation floor below which the tracker declares itself lost (typical
+// 0.6).
+func NewTracker(f *Frame, cx, cy, half, search int, minNCC float64) *Tracker {
+	t := &Tracker{cx: cx, cy: cy, half: half, search: search, minNCC: minNCC}
+	t.tmpl = extractPatch(f, cx, cy, half)
+	return t
+}
+
+// Lost reports whether the last Update fell below the correlation floor.
+func (t *Tracker) Lost() bool { return t.lost }
+
+// Pos returns the current estimated center.
+func (t *Tracker) Pos() (int, int) { return t.cx, t.cy }
+
+// Update searches the new frame around the last position and returns the
+// new center and the best correlation score. When the score is below the
+// floor the tracker keeps its previous position and reports Lost.
+func (t *Tracker) Update(f *Frame) (x, y int, score float64) {
+	bestScore := -2.0
+	bestX, bestY := t.cx, t.cy
+	for dy := -t.search; dy <= t.search; dy++ {
+		for dx := -t.search; dx <= t.search; dx++ {
+			nx, ny := t.cx+dx, t.cy+dy
+			if nx-t.half < 0 || ny-t.half < 0 || nx+t.half >= f.W || ny+t.half >= f.H {
+				continue
+			}
+			s := ncc(t.tmpl, f, nx, ny, t.half)
+			if s > bestScore {
+				bestScore, bestX, bestY = s, nx, ny
+			}
+		}
+	}
+	if bestScore < t.minNCC {
+		t.lost = true
+		return t.cx, t.cy, bestScore
+	}
+	t.lost = false
+	t.cx, t.cy = bestX, bestY
+	return bestX, bestY, bestScore
+}
+
+// Reacquire re-centers the tracker (e.g. from an offloaded recognition
+// result) and refreshes its template from the frame.
+func (t *Tracker) Reacquire(f *Frame, cx, cy int) {
+	t.cx, t.cy = cx, cy
+	t.tmpl = extractPatch(f, cx, cy, t.half)
+	t.lost = false
+}
+
+func extractPatch(f *Frame, cx, cy, half int) *Frame {
+	side := 2*half + 1
+	p := NewFrame(side, side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			p.Pix[y*side+x] = f.At(cx-half+x, cy-half+y)
+		}
+	}
+	return p
+}
+
+// ncc computes normalized cross-correlation between the template and the
+// patch centered at (cx, cy).
+func ncc(tmpl, f *Frame, cx, cy, half int) float64 {
+	side := 2*half + 1
+	n := float64(side * side)
+	var sumT, sumF, sumTT, sumFF, sumTF float64
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			tv := float64(tmpl.Pix[y*side+x])
+			fv := float64(f.Pix[(cy-half+y)*f.W+cx-half+x])
+			sumT += tv
+			sumF += fv
+			sumTT += tv * tv
+			sumFF += fv * fv
+			sumTF += tv * fv
+		}
+	}
+	num := sumTF - sumT*sumF/n
+	den := math.Sqrt((sumTT - sumT*sumT/n) * (sumFF - sumF*sumF/n))
+	if den < 1e-9 {
+		return 0
+	}
+	return num / den
+}

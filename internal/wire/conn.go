@@ -1,0 +1,649 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"marnet/internal/core"
+)
+
+// ErrClosed is returned by operations on a closed Conn.
+var ErrClosed = errors.New("wire: connection closed")
+
+// StreamSpec declares one substream of a connection. Class/priority
+// semantics are identical to package core.
+type StreamSpec struct {
+	ID       uint16
+	Class    core.Class
+	Priority core.Priority
+	Rate     float64 // desired bits/s
+	Deadline time.Duration
+	// OnAllocate receives QoS feedback (allocated bits/s).
+	OnAllocate func(rate float64)
+}
+
+// Message is one received application datagram.
+type Message struct {
+	Stream  uint16
+	Seq     int64
+	Payload []byte
+	// Peer is the remote address the datagram came from (useful behind a
+	// Mux, where one handler may serve many peers).
+	Peer *net.UDPAddr
+}
+
+// Config configures a Conn.
+type Config struct {
+	Streams     []StreamSpec
+	StartBudget float64 // bits/s, default 1 Mb/s
+	RetxLimit   int     // default 3
+	// OnMessage is invoked from the read loop for every newly received
+	// data frame (duplicates are filtered). The payload is owned by the
+	// callee.
+	OnMessage func(Message)
+	// Key, when set (16/24/32 bytes), seals every payload with AES-GCM and
+	// authenticates headers (Section VI-G). Both endpoints must share it.
+	Key []byte
+}
+
+type wpending struct {
+	payload  []byte
+	class    core.Class
+	deadline time.Time
+	lastSent time.Time
+	retx     int
+	queued   bool
+}
+
+type wstream struct {
+	spec      StreamSpec
+	nextSeq   int64
+	allocated float64
+	tokens    float64
+	lastFill  time.Time
+
+	outstanding map[int64]*wpending
+	maxAcked    int64
+
+	// receive side
+	expected int64
+	received map[int64]bool
+	nacked   map[int64]int
+
+	// Stats
+	sent  int64
+	shed  int64
+	retx  int64
+	recvd int64
+	dups  int64
+}
+
+type outFrame struct {
+	hdr     Header
+	payload []byte
+}
+
+// Conn is an ARTP endpoint over a UDP socket. Both sides of a connection
+// are symmetric: each may declare sending streams and receive the peer's.
+type Conn struct {
+	sock  *net.UDPConn
+	epoch time.Time
+	cfg   Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	peer    *net.UDPAddr
+	ctrl    *core.Controller
+	streams map[uint16]*wstream
+	bands   [4][]outFrame
+	closed  bool
+	done    chan struct{}
+	sealer  *sealer // nil when Config.Key is unset
+
+	// Mux mode: datagrams arrive via recvCh instead of the socket, writes
+	// go through the shared socket, and Close must not close that socket.
+	recvCh  chan []byte
+	muxced  bool
+	onClose func()
+
+	wg sync.WaitGroup
+
+	// Stats (guarded by mu).
+	SentFrames   int64
+	AckedRTT     time.Duration
+	AuthFailures int64
+}
+
+// Dial connects to a server and starts the protocol goroutines.
+func Dial(server string, cfg Config) (*Conn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", server)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %q: %w", server, err)
+	}
+	sock, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	return newConn(sock, raddr, cfg)
+}
+
+// Listen binds a server endpoint; the peer address is learned from the
+// first arriving frame.
+func Listen(addr string, cfg Config) (*Conn, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %q: %w", addr, err)
+	}
+	sock, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	return newConn(sock, nil, cfg)
+}
+
+func newConn(sock *net.UDPConn, peer *net.UDPAddr, cfg Config) (*Conn, error) {
+	var sl *sealer
+	if cfg.Key != nil {
+		var err error
+		if sl, err = newSealer(cfg.Key); err != nil {
+			sock.Close()
+			return nil, err
+		}
+	}
+	if cfg.StartBudget <= 0 {
+		cfg.StartBudget = 1e6
+	}
+	if cfg.RetxLimit <= 0 {
+		cfg.RetxLimit = 3
+	}
+	c := newConnCommon(sock, peer, cfg, sl)
+	c.start()
+	return c, nil
+}
+
+// newConnCommon builds the connection state without launching goroutines.
+func newConnCommon(sock *net.UDPConn, peer *net.UDPAddr, cfg Config, sl *sealer) *Conn {
+	c := &Conn{
+		sock:    sock,
+		epoch:   time.Now(),
+		cfg:     cfg,
+		peer:    peer,
+		ctrl:    core.NewController(cfg.StartBudget),
+		streams: make(map[uint16]*wstream, len(cfg.Streams)),
+		done:    make(chan struct{}),
+		sealer:  sl,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, spec := range cfg.Streams {
+		c.streams[spec.ID] = &wstream{
+			spec:        spec,
+			tokens:      4 * 1500, // initial burst credit
+			lastFill:    time.Now(),
+			outstanding: make(map[int64]*wpending),
+			maxAcked:    -1,
+			received:    make(map[int64]bool),
+			nacked:      make(map[int64]int),
+		}
+	}
+	c.ctrl.SetOnChange(c.reallocateLocked)
+	c.reallocateLocked()
+	return c
+}
+
+// start launches the protocol goroutines.
+func (c *Conn) start() {
+	c.wg.Add(3)
+	go c.readLoop()
+	go c.paceLoop()
+	go c.sweepLoop()
+}
+
+// writeFrame seals (when a key is configured) and transmits one frame to
+// the peer. It takes no locks itself; UDP datagram writes are safe to
+// issue concurrently.
+func (c *Conn) writeFrame(h Header, payload []byte, peer *net.UDPAddr) error {
+	if peer == nil {
+		return nil
+	}
+	if c.sealer != nil {
+		sealed, err := c.sealer.seal(h, payload)
+		if err != nil {
+			return err
+		}
+		payload = sealed
+	}
+	frame, err := AppendFrame(nil, h, payload)
+	if err != nil {
+		return err
+	}
+	_, err = c.sock.WriteToUDP(frame, peer)
+	return err
+}
+
+// LocalAddr returns the bound UDP address.
+func (c *Conn) LocalAddr() *net.UDPAddr {
+	addr, _ := c.sock.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+// Budget reports the controller's current sending budget in bits/s.
+func (c *Conn) Budget() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctrl.Budget()
+}
+
+// Close stops all goroutines and closes the socket.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	var err error
+	if c.muxced {
+		if c.onClose != nil {
+			c.onClose()
+		}
+	} else {
+		err = c.sock.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+func (c *Conn) now() time.Duration { return time.Since(c.epoch) }
+
+// reallocateLocked distributes the budget across streams by priority; the
+// caller must hold mu (the controller invokes it via OnChange from paths
+// that do).
+func (c *Conn) reallocateLocked() {
+	remaining := c.ctrl.Budget()
+	for p := core.PrioHighest; p <= core.PrioLowest; p++ {
+		for _, st := range c.streams {
+			if st.spec.Priority != p {
+				continue
+			}
+			alloc := st.spec.Rate
+			if alloc > remaining {
+				alloc = remaining
+			}
+			remaining -= alloc
+			if alloc != st.allocated {
+				st.allocated = alloc
+				if st.spec.OnAllocate != nil {
+					// Callback without the lock would be nicer, but the
+					// callbacks are rate setters; document the constraint.
+					st.spec.OnAllocate(alloc)
+				}
+			}
+		}
+	}
+}
+
+// Send submits one application datagram on a stream. It reports whether
+// the datagram was admitted (false = shed by graceful degradation) and
+// errors only on misuse or closed connections.
+func (c *Conn) Send(streamID uint16, payload []byte) (bool, error) {
+	if len(payload) > maxPlain(c.sealer != nil) {
+		return false, fmt.Errorf("%w (%d bytes)", ErrOversize, len(payload))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false, ErrClosed
+	}
+	st, ok := c.streams[streamID]
+	if !ok {
+		return false, fmt.Errorf("wire: unknown stream %d", streamID)
+	}
+	now := time.Now()
+	dt := now.Sub(st.lastFill).Seconds()
+	st.lastFill = now
+	size := len(payload) + HeaderLen
+	st.tokens += st.allocated / 8 * dt
+	if burst := float64(4 * size); st.tokens > burst {
+		st.tokens = burst
+	}
+	if st.spec.Priority.Discardable() {
+		if st.tokens < float64(size) {
+			st.shed++
+			return false, nil
+		}
+		st.tokens -= float64(size)
+	}
+	seq := st.nextSeq
+	st.nextSeq++
+	buf := append([]byte(nil), payload...)
+	if st.spec.Class != core.ClassFullBestEffort {
+		pp := &wpending{payload: buf, class: st.spec.Class, queued: true}
+		if st.spec.Deadline > 0 {
+			pp.deadline = now.Add(st.spec.Deadline)
+		}
+		st.outstanding[seq] = pp
+	}
+	c.enqueueLocked(st, seq, buf)
+	return true, nil
+}
+
+func (c *Conn) enqueueLocked(st *wstream, seq int64, payload []byte) {
+	hdr := Header{
+		Type:   TypeData,
+		Stream: st.spec.ID,
+		Class:  uint8(st.spec.Class),
+		Prio:   uint8(st.spec.Priority),
+		Seq:    seq,
+	}
+	band := st.spec.Priority.Band()
+	c.bands[band] = append(c.bands[band], outFrame{hdr: hdr, payload: payload})
+	c.cond.Signal()
+}
+
+// paceLoop drains the priority bands at the controller budget.
+func (c *Conn) paceLoop() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for !c.closed && c.emptyBandsLocked() {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		var f outFrame
+		for b := range c.bands {
+			if len(c.bands[b]) > 0 {
+				f = c.bands[b][0]
+				c.bands[b] = c.bands[b][1:]
+				break
+			}
+		}
+		f.hdr.SendMicro = uint64(c.now().Microseconds())
+		if st := c.streams[f.hdr.Stream]; st != nil {
+			if pp, ok := st.outstanding[f.hdr.Seq]; ok {
+				pp.queued = false
+				pp.lastSent = time.Now()
+			}
+			st.sent++
+		}
+		peer := c.peer
+		budget := c.ctrl.Budget()
+		c.mu.Unlock()
+
+		if err := c.writeFrame(f.hdr, f.payload, peer); err == nil && peer != nil {
+			c.mu.Lock()
+			c.SentFrames++
+			c.mu.Unlock()
+		}
+		if budget < 1 {
+			budget = 1
+		}
+		wireLen := HeaderLen + len(f.payload)
+		if c.sealer != nil {
+			wireLen += sealedOver
+		}
+		gap := time.Duration(float64(wireLen*8) / budget * float64(time.Second))
+		if gap > 0 {
+			timer := time.NewTimer(gap)
+			select {
+			case <-timer.C:
+			case <-c.done:
+				timer.Stop()
+				return
+			}
+		}
+	}
+}
+
+func (c *Conn) emptyBandsLocked() bool {
+	for b := range c.bands {
+		if len(c.bands[b]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// readLoop parses incoming frames until the socket closes.
+func (c *Conn) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		var n int
+		var raddr *net.UDPAddr
+		if c.muxced {
+			select {
+			case dgram := <-c.recvCh:
+				n = copy(buf, dgram)
+				raddr = c.peer
+			case <-c.done:
+				return
+			}
+		} else {
+			var err error
+			n, raddr, err = c.sock.ReadFromUDP(buf)
+			if err != nil {
+				return // closed
+			}
+		}
+		hdr, payload, derr := DecodeFrame(buf[:n])
+		if derr != nil {
+			continue // ignore malformed datagrams
+		}
+		if c.sealer != nil {
+			plain, oerr := c.sealer.open(hdr, payload)
+			if oerr != nil {
+				c.mu.Lock()
+				c.AuthFailures++
+				c.mu.Unlock()
+				continue
+			}
+			payload = plain
+		}
+		c.mu.Lock()
+		if c.peer == nil {
+			c.peer = raddr
+		}
+		switch hdr.Type {
+		case TypeData:
+			c.onDataLocked(hdr, payload)
+		case TypeAck:
+			c.onAckLocked(hdr)
+		case TypeNack:
+			c.onNackLocked(hdr, payload)
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Conn) onDataLocked(hdr Header, payload []byte) {
+	// Ack everything immediately, echoing the send timestamp.
+	ack := Header{
+		Type:      TypeAck,
+		Stream:    hdr.Stream,
+		Seq:       hdr.Seq,
+		SendMicro: hdr.SendMicro,
+	}
+	c.writeFrame(ack, nil, c.peer) //nolint:errcheck // best-effort ack
+
+	st, ok := c.streams[hdr.Stream]
+	if !ok {
+		// The peer sends on a stream we did not declare: accept with
+		// default state so one-directional setups work.
+		st = &wstream{
+			spec:        StreamSpec{ID: hdr.Stream, Class: core.Class(hdr.Class), Priority: core.Priority(hdr.Prio)},
+			outstanding: make(map[int64]*wpending),
+			maxAcked:    -1,
+			received:    make(map[int64]bool),
+			nacked:      make(map[int64]int),
+			lastFill:    time.Now(),
+		}
+		c.streams[hdr.Stream] = st
+	}
+	if st.received[hdr.Seq] {
+		st.dups++
+		return
+	}
+	st.received[hdr.Seq] = true
+	st.recvd++
+
+	// Gap-driven NACK for reliable classes.
+	if core.Class(hdr.Class) != core.ClassFullBestEffort && hdr.Seq > st.expected {
+		var missing []int64
+		for s := st.expected; s < hdr.Seq && len(missing) < 64; s++ {
+			if !st.received[s] && st.nacked[s] < 2 {
+				st.nacked[s]++
+				missing = append(missing, s)
+			}
+		}
+		if len(missing) > 0 {
+			nack := Header{Type: TypeNack, Stream: hdr.Stream}
+			c.writeFrame(nack, EncodeNackPayload(missing), c.peer) //nolint:errcheck // best-effort nack
+		}
+	}
+	if hdr.Seq >= st.expected {
+		st.expected = hdr.Seq + 1
+	}
+	for s := range st.received {
+		if s < st.expected-2048 {
+			delete(st.received, s)
+		}
+	}
+	if c.cfg.OnMessage != nil {
+		msg := Message{Stream: hdr.Stream, Seq: hdr.Seq, Payload: append([]byte(nil), payload...), Peer: c.peer}
+		// Deliver without holding the lock.
+		c.mu.Unlock()
+		c.cfg.OnMessage(msg)
+		c.mu.Lock()
+	}
+}
+
+func (c *Conn) onAckLocked(hdr Header) {
+	now := c.now()
+	rtt := now - time.Duration(hdr.SendMicro)*time.Microsecond
+	if rtt > 0 {
+		c.AckedRTT = rtt
+		c.ctrl.OnAck(now, rtt)
+	}
+	st, ok := c.streams[hdr.Stream]
+	if !ok {
+		return
+	}
+	delete(st.outstanding, hdr.Seq)
+	if hdr.Seq > st.maxAcked {
+		st.maxAcked = hdr.Seq
+	}
+	const reorderSlack = 3
+	for seq, pp := range st.outstanding {
+		if seq < st.maxAcked-reorderSlack && c.lossEligibleLocked(pp) {
+			c.onLostLocked(st, seq, pp)
+		}
+	}
+}
+
+func (c *Conn) onNackLocked(hdr Header, payload []byte) {
+	missing, err := DecodeNackPayload(payload)
+	if err != nil {
+		return
+	}
+	st, ok := c.streams[hdr.Stream]
+	if !ok {
+		return
+	}
+	for _, seq := range missing {
+		if pp, ok := st.outstanding[seq]; ok && c.lossEligibleLocked(pp) {
+			c.onLostLocked(st, seq, pp)
+		}
+	}
+}
+
+func (c *Conn) lossEligibleLocked(pp *wpending) bool {
+	if pp.queued || pp.lastSent.IsZero() {
+		return false
+	}
+	guard := c.ctrl.SRTT()
+	if guard < 5*time.Millisecond {
+		guard = 5 * time.Millisecond
+	}
+	return time.Since(pp.lastSent) >= guard
+}
+
+func (c *Conn) onLostLocked(st *wstream, seq int64, pp *wpending) {
+	c.ctrl.OnLoss(c.now(), !st.spec.Priority.Discardable())
+	if pp.class == core.ClassLossRecovery {
+		affordable := pp.deadline.IsZero() ||
+			(c.ctrl.SRTT() > 0 && time.Now().Add(c.ctrl.SRTT()/2).Before(pp.deadline))
+		if !affordable || pp.retx >= c.cfg.RetxLimit {
+			delete(st.outstanding, seq)
+			return
+		}
+	}
+	if pp.class == core.ClassCritical && pp.retx >= c.cfg.RetxLimit*4 {
+		delete(st.outstanding, seq)
+		return
+	}
+	pp.retx++
+	pp.queued = true
+	st.retx++
+	c.enqueueLocked(st, seq, pp.payload)
+}
+
+// sweepLoop retransmits reliable tail losses that produce no gap signal.
+func (c *Conn) sweepLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		stale := 2 * c.ctrl.SRTT()
+		if stale < 100*time.Millisecond {
+			stale = 100 * time.Millisecond
+		}
+		for _, st := range c.streams {
+			for seq, pp := range st.outstanding {
+				if !pp.queued && !pp.lastSent.IsZero() && time.Since(pp.lastSent) >= stale {
+					c.onLostLocked(st, seq, pp)
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// StreamStats is a snapshot of one stream's counters.
+type StreamStats struct {
+	Sent, Shed, Retx, Received, Duplicates int64
+	Allocated                              float64
+}
+
+// Stats returns a snapshot for a stream.
+func (c *Conn) Stats(streamID uint16) StreamStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.streams[streamID]
+	if !ok {
+		return StreamStats{}
+	}
+	return StreamStats{
+		Sent: st.sent, Shed: st.shed, Retx: st.retx,
+		Received: st.recvd, Duplicates: st.dups,
+		Allocated: st.allocated,
+	}
+}

@@ -1,0 +1,152 @@
+// Package wire is the real-network implementation of the ARTP protocol
+// (see package core for the simulator version and the protocol rationale).
+// It runs over UDP sockets, as Section VI-H of the paper recommends: "the
+// actual implementation of this protocol may be done on top of UDP at the
+// application level, making it easier to integrate in applications as an
+// external library".
+//
+// The wire format is a fixed little-endian header followed by the payload:
+//
+//	off size field
+//	0   2    magic 0xAR7P (0xA27B)
+//	2   1    version (1)
+//	3   1    frame type
+//	4   2    stream id
+//	6   1    class
+//	7   1    priority
+//	8   8    sequence number
+//	16  8    send timestamp, microseconds since the conn epoch
+//	24  2    payload length
+//	26  ...  payload
+//
+// ACK frames reuse the header with the acked stream/seq and echo the data
+// frame's send timestamp in the timestamp field. NACK frames carry a list
+// of missing sequence numbers as the payload.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame types.
+const (
+	TypeData = 1
+	TypeAck  = 2
+	TypeNack = 3
+)
+
+// Codec constants.
+const (
+	Magic      = 0xA27B
+	Version    = 1
+	HeaderLen  = 26
+	MaxPayload = 1200 // keeps frames under typical path MTU
+)
+
+// Codec errors.
+var (
+	ErrShortFrame = errors.New("wire: frame too short")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unknown frame type")
+	ErrOversize   = errors.New("wire: payload exceeds MaxPayload")
+	ErrTruncated  = errors.New("wire: payload truncated")
+)
+
+// Header is the decoded fixed header.
+type Header struct {
+	Type       uint8
+	Stream     uint16
+	Class      uint8
+	Prio       uint8
+	Seq        int64
+	SendMicro  uint64
+	PayloadLen uint16
+}
+
+// AppendFrame serializes a frame (header + payload) into dst and returns
+// the extended slice.
+func AppendFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: %d bytes", ErrOversize, len(payload))
+	}
+	switch h.Type {
+	case TypeData, TypeAck, TypeNack:
+	default:
+		return dst, fmt.Errorf("%w: %d", ErrBadType, h.Type)
+	}
+	var hdr [HeaderLen]byte
+	binary.LittleEndian.PutUint16(hdr[0:], Magic)
+	hdr[2] = Version
+	hdr[3] = h.Type
+	binary.LittleEndian.PutUint16(hdr[4:], h.Stream)
+	hdr[6] = h.Class
+	hdr[7] = h.Prio
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(h.Seq))
+	binary.LittleEndian.PutUint64(hdr[16:], h.SendMicro)
+	binary.LittleEndian.PutUint16(hdr[24:], uint16(len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	return dst, nil
+}
+
+// DecodeFrame parses one frame from buf, returning the header and a
+// subslice of buf holding the payload.
+func DecodeFrame(buf []byte) (Header, []byte, error) {
+	if len(buf) < HeaderLen {
+		return Header{}, nil, ErrShortFrame
+	}
+	if binary.LittleEndian.Uint16(buf[0:]) != Magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	if buf[2] != Version {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	h := Header{
+		Type:       buf[3],
+		Stream:     binary.LittleEndian.Uint16(buf[4:]),
+		Class:      buf[6],
+		Prio:       buf[7],
+		Seq:        int64(binary.LittleEndian.Uint64(buf[8:])),
+		SendMicro:  binary.LittleEndian.Uint64(buf[16:]),
+		PayloadLen: binary.LittleEndian.Uint16(buf[24:]),
+	}
+	switch h.Type {
+	case TypeData, TypeAck, TypeNack:
+	default:
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadType, h.Type)
+	}
+	end := HeaderLen + int(h.PayloadLen)
+	if len(buf) < end {
+		return Header{}, nil, ErrTruncated
+	}
+	return h, buf[HeaderLen:end], nil
+}
+
+// EncodeNackPayload serializes a list of missing sequence numbers.
+func EncodeNackPayload(missing []int64) []byte {
+	out := make([]byte, 2+8*len(missing))
+	binary.LittleEndian.PutUint16(out, uint16(len(missing)))
+	for i, s := range missing {
+		binary.LittleEndian.PutUint64(out[2+8*i:], uint64(s))
+	}
+	return out
+}
+
+// DecodeNackPayload parses a NACK payload.
+func DecodeNackPayload(p []byte) ([]int64, error) {
+	if len(p) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if len(p) < 2+8*n {
+		return nil, ErrTruncated
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(p[2+8*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Mux serves many ARTP peers over one UDP socket: each remote address gets
+// its own Conn (own streams, own congestion controller, own
+// retransmission state), which is what a real offloading server needs —
+// one surrogate, many mobile devices.
+type Mux struct {
+	sock *net.UDPConn
+	// ConfigFor builds the per-peer Config. It runs on the read loop when
+	// a new peer's first datagram arrives; returning a Config with a nil
+	// OnMessage is fine (data is still acked).
+	configFor func(peer *net.UDPAddr) Config
+	// OnConn, when set, is invoked for every newly accepted peer. Set it
+	// via SetOnConn (or before any client traffic arrives).
+	OnConn func(conn *Conn, peer *net.UDPAddr)
+
+	mu     sync.Mutex
+	conns  map[string]*Conn
+	closed bool
+	wg     sync.WaitGroup
+
+	// Stats (guarded by mu).
+	Accepted int64
+	Overruns int64 // datagrams dropped because a peer's queue was full
+}
+
+// ListenMux binds addr and starts accepting peers. configFor must not be
+// nil.
+func ListenMux(addr string, configFor func(peer *net.UDPAddr) Config) (*Mux, error) {
+	if configFor == nil {
+		return nil, fmt.Errorf("wire: nil configFor")
+	}
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve %q: %w", addr, err)
+	}
+	sock, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	m := &Mux{
+		sock:      sock,
+		configFor: configFor,
+		conns:     make(map[string]*Conn),
+	}
+	m.wg.Add(1)
+	go m.readLoop()
+	return m, nil
+}
+
+// SetOnConn installs the new-peer callback race-free.
+func (m *Mux) SetOnConn(fn func(conn *Conn, peer *net.UDPAddr)) {
+	m.mu.Lock()
+	m.OnConn = fn
+	m.mu.Unlock()
+}
+
+// LocalAddr returns the bound address.
+func (m *Mux) LocalAddr() *net.UDPAddr {
+	addr, _ := m.sock.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+// Conns returns a snapshot of the live peer connections.
+func (m *Mux) Conns() []*Conn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Conn, 0, len(m.conns))
+	for _, c := range m.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Close shuts down every peer connection and the socket.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := make([]*Conn, 0, len(m.conns))
+	for _, c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.conns = map[string]*Conn{}
+	m.mu.Unlock()
+
+	for _, c := range conns {
+		c.Close() //nolint:errcheck // best-effort teardown
+	}
+	err := m.sock.Close()
+	m.wg.Wait()
+	return err
+}
+
+func (m *Mux) readLoop() {
+	defer m.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := m.sock.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		conn := m.connFor(raddr)
+		if conn == nil {
+			continue // shutting down
+		}
+		dgram := append([]byte(nil), buf[:n]...)
+		select {
+		case conn.recvCh <- dgram:
+		default:
+			m.mu.Lock()
+			m.Overruns++
+			m.mu.Unlock()
+		}
+	}
+}
+
+// connFor returns (creating if necessary) the peer's connection.
+func (m *Mux) connFor(raddr *net.UDPAddr) *Conn {
+	key := raddr.String()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	if c, ok := m.conns[key]; ok {
+		m.mu.Unlock()
+		return c
+	}
+	m.mu.Unlock()
+
+	// Build outside the lock: configFor is user code.
+	cfg := m.configFor(raddr)
+	c, err := newMuxConn(m, raddr, cfg)
+	if err != nil {
+		return nil
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		c.Close() //nolint:errcheck // racing shutdown
+		return nil
+	}
+	if existing, ok := m.conns[key]; ok {
+		// Lost a race with another datagram from the same peer.
+		m.mu.Unlock()
+		c.Close() //nolint:errcheck // duplicate
+		return existing
+	}
+	m.conns[key] = c
+	m.Accepted++
+	onConn := m.OnConn
+	m.mu.Unlock()
+	if onConn != nil {
+		onConn(c, raddr)
+	}
+	return c
+}
+
+func (m *Mux) drop(key string) {
+	m.mu.Lock()
+	delete(m.conns, key)
+	m.mu.Unlock()
+}
+
+// newMuxConn builds a per-peer Conn that shares the mux socket.
+func newMuxConn(m *Mux, peer *net.UDPAddr, cfg Config) (*Conn, error) {
+	var sl *sealer
+	if cfg.Key != nil {
+		var err error
+		if sl, err = newSealer(cfg.Key); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.StartBudget <= 0 {
+		cfg.StartBudget = 1e6
+	}
+	if cfg.RetxLimit <= 0 {
+		cfg.RetxLimit = 3
+	}
+	c := newConnCommon(m.sock, peer, cfg, sl)
+	c.muxced = true
+	c.recvCh = make(chan []byte, 256)
+	key := peer.String()
+	c.onClose = func() { m.drop(key) }
+	c.start()
+	return c, nil
+}

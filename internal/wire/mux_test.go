@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"marnet/internal/core"
+)
+
+// muxCollector tags received messages with the peer that sent them.
+type muxCollector struct {
+	mu   sync.Mutex
+	from map[string]int
+}
+
+func newMuxCollector() *muxCollector {
+	return &muxCollector{from: map[string]int{}}
+}
+
+func (m *muxCollector) handlerFor(peer *net.UDPAddr) func(Message) {
+	key := fmt.Sprint(peer.Port)
+	return func(Message) {
+		m.mu.Lock()
+		m.from[key]++
+		m.mu.Unlock()
+	}
+}
+
+// count looks up deliveries by the peer's source port (the stable part of
+// the address across wildcard/loopback renderings).
+func (m *muxCollector) count(local *net.UDPAddr) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.from[fmt.Sprint(local.Port)]
+}
+
+func clientStreams() []StreamSpec {
+	return []StreamSpec{
+		{ID: 1, Class: core.ClassCritical, Priority: core.PrioHighest, Rate: 1e6},
+	}
+}
+
+func TestMuxServesMultipleClients(t *testing.T) {
+	rx := newMuxCollector()
+	mux, err := ListenMux("127.0.0.1:0", func(peer *net.UDPAddr) Config {
+		return Config{OnMessage: rx.handlerFor(peer)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	const nClients = 4
+	const perClient = 25
+	var clients []*Conn
+	for i := 0; i < nClients; i++ {
+		cl, err := Dial(mux.LocalAddr().String(), Config{
+			Streams: clientStreams(), StartBudget: 10e6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		clients = append(clients, cl)
+	}
+	for i := 0; i < perClient; i++ {
+		for _, cl := range clients {
+			if _, err := cl.Send(1, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ok := waitFor(t, 5*time.Second, func() bool {
+		for _, cl := range clients {
+			if rx.count(cl.LocalAddr()) < perClient {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		for _, cl := range clients {
+			t.Logf("peer %s: %d/%d", cl.LocalAddr(), rx.count(cl.LocalAddr()), perClient)
+		}
+		t.Fatal("not all clients fully delivered")
+	}
+	mux.mu.Lock()
+	accepted := mux.Accepted
+	nConns := len(mux.conns)
+	mux.mu.Unlock()
+	if accepted != nClients || nConns != nClients {
+		t.Errorf("accepted=%d conns=%d, want %d", accepted, nConns, nClients)
+	}
+	if len(mux.Conns()) != nClients {
+		t.Errorf("Conns() = %d", len(mux.Conns()))
+	}
+}
+
+func TestMuxPerPeerIsolationUnderLoss(t *testing.T) {
+	// One client behind a lossy relay, one clean: retransmission state must
+	// be independent (the clean client never sees retransmits).
+	rx := newMuxCollector()
+	mux, err := ListenMux("127.0.0.1:0", func(peer *net.UDPAddr) Config {
+		return Config{OnMessage: rx.handlerFor(peer)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	relay, err := NewRelay(mux.LocalAddr().String(), 5, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	lossy, err := Dial(relay.Addr(), Config{Streams: clientStreams(), StartBudget: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossy.Close()
+	clean, err := Dial(mux.LocalAddr().String(), Config{Streams: clientStreams(), StartBudget: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		lossy.Send(1, []byte{byte(i)}) //nolint:errcheck
+		clean.Send(1, []byte{byte(i)}) //nolint:errcheck
+	}
+	// The lossy client is known to the server by the relay's address.
+	if !waitFor(t, 8*time.Second, func() bool {
+		return rx.count(clean.LocalAddr()) >= n &&
+			rx.count(relayClientAddr(relay)) >= n
+	}) {
+		t.Fatalf("deliveries: clean=%d lossy=%d",
+			rx.count(clean.LocalAddr()), rx.count(relayClientAddr(relay)))
+	}
+	if st := clean.Stats(1); st.Retx != 0 {
+		t.Errorf("clean client retransmitted %d times", st.Retx)
+	}
+	if st := lossy.Stats(1); st.Retx == 0 {
+		t.Error("lossy client never retransmitted")
+	}
+}
+
+// relayClientAddr is the relay's socket address as seen by the mux.
+func relayClientAddr(r *Relay) *net.UDPAddr {
+	addr, _ := r.sock.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+func TestMuxEncryptedClients(t *testing.T) {
+	key := bytes.Repeat([]byte{9}, 16)
+	rx := newMuxCollector()
+	mux, err := ListenMux("127.0.0.1:0", func(peer *net.UDPAddr) Config {
+		return Config{OnMessage: rx.handlerFor(peer), Key: key}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+	cl, err := Dial(mux.LocalAddr().String(), Config{Streams: clientStreams(), Key: key, StartBudget: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 10; i++ {
+		cl.Send(1, []byte("x")) //nolint:errcheck
+	}
+	if !waitFor(t, 3*time.Second, func() bool { return rx.count(cl.LocalAddr()) >= 10 }) {
+		t.Fatal("encrypted mux delivery failed")
+	}
+}
+
+func TestMuxCloseIdempotentAndValidation(t *testing.T) {
+	if _, err := ListenMux("127.0.0.1:0", nil); err == nil {
+		t.Error("nil configFor should fail")
+	}
+	mux, err := ListenMux("127.0.0.1:0", func(*net.UDPAddr) Config { return Config{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := mux.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestMuxOnConnCallback(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	mux, err := ListenMux("127.0.0.1:0", func(*net.UDPAddr) Config { return Config{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+	mux.SetOnConn(func(_ *Conn, peer *net.UDPAddr) {
+		mu.Lock()
+		seen = append(seen, peer.String())
+		mu.Unlock()
+	})
+	cl, err := Dial(mux.LocalAddr().String(), Config{Streams: clientStreams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Send(1, []byte("x")) //nolint:errcheck
+	if !waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == 1
+	}) {
+		t.Fatal("OnConn never fired")
+	}
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Relay is a UDP impairment middlebox for testing and demos: it forwards
+// datagrams between a client and a fixed upstream server, optionally
+// dropping every n-th datagram and adding a fixed delay in each direction.
+// It is how the integration tests exercise loss recovery on a real socket
+// without real packet loss.
+type Relay struct {
+	DropEvery int           // drop every n-th forwarded datagram (0 = none)
+	Delay     time.Duration // extra one-way delay
+
+	sock     *net.UDPConn
+	upstream *net.UDPAddr
+
+	mu      sync.Mutex
+	client  *net.UDPAddr
+	count   int
+	dropped int64
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewRelay starts a relay on a random local port toward upstream.
+func NewRelay(upstream string, dropEvery int, delay time.Duration) (*Relay, error) {
+	uaddr, err := net.ResolveUDPAddr("udp", upstream)
+	if err != nil {
+		return nil, fmt.Errorf("wire: resolve upstream: %w", err)
+	}
+	sock, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("wire: relay listen: %w", err)
+	}
+	r := &Relay{
+		DropEvery: dropEvery,
+		Delay:     delay,
+		sock:      sock,
+		upstream:  uaddr,
+		done:      make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r, nil
+}
+
+// Addr returns the relay's listening address (give this to the client).
+func (r *Relay) Addr() string { return r.sock.LocalAddr().String() }
+
+// Dropped reports how many datagrams the relay discarded.
+func (r *Relay) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Close stops the relay.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.done)
+	r.mu.Unlock()
+	err := r.sock.Close()
+	r.wg.Wait()
+	return err
+}
+
+func (r *Relay) loop() {
+	defer r.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := r.sock.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		fromUpstream := raddr.IP.Equal(r.upstream.IP) && raddr.Port == r.upstream.Port
+
+		r.mu.Lock()
+		if !fromUpstream {
+			r.client = raddr
+		}
+		var dst *net.UDPAddr
+		if fromUpstream {
+			dst = r.client
+		} else {
+			dst = r.upstream
+		}
+		r.count++
+		drop := r.DropEvery > 0 && r.count%r.DropEvery == 0
+		if drop {
+			r.dropped++
+		}
+		delay := r.Delay
+		r.mu.Unlock()
+
+		if drop || dst == nil {
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		if delay > 0 {
+			go func() {
+				timer := time.NewTimer(delay)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+					r.sock.WriteToUDP(pkt, dst) //nolint:errcheck // best-effort relay
+				case <-r.done:
+				}
+			}()
+		} else {
+			r.sock.WriteToUDP(pkt, dst) //nolint:errcheck // best-effort relay
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"marnet/internal/experiments"
+)
+
+// TestHarnessSmoke keeps one fast end-to-end check at the repository root:
+// the static experiments format correctly and the headline constants are
+// in place. The heavy scenario assertions live in internal/experiments.
+func TestHarnessSmoke(t *testing.T) {
+	if out := experiments.TableI().Format(); !strings.Contains(out, "Smart glasses") {
+		t.Error("Table I malformed")
+	}
+	s := experiments.SectionIIIB()
+	if s.Raw4K60MiBps < 700 || s.Raw4K60MiBps > 720 {
+		t.Errorf("4K arithmetic drifted: %v MiB/s", s.Raw4K60MiBps)
+	}
+	if out := s.Format(); !strings.Contains(out, "75ms") {
+		t.Error("Section III-B missing the latency bound")
+	}
+}
