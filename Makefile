@@ -1,0 +1,30 @@
+GO ?= go
+
+# Packages with real concurrency (goroutines + sockets) that must stay
+# race-clean; the rest of the tree is a single-threaded simulator.
+RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/...
+
+.PHONY: all ci vet build test race chaos clean
+
+all: ci
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# The full chaos acceptance storm (skipped under -short), race-checked.
+chaos:
+	$(GO) test -race -run TestChaosStormSuite -v ./internal/rpc/
+
+clean:
+	$(GO) clean ./...

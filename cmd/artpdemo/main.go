@@ -1,7 +1,9 @@
 // Command artpdemo runs the real-UDP ARTP implementation end to end on
-// loopback: a server, a lossy impairment relay, and a client sending the
-// paper's four traffic types (metadata, sensors, reference frames,
-// interframes) for a few seconds, then prints per-stream statistics.
+// loopback: a server, a chaos-grade impairment relay, and a client sending
+// the paper's four traffic types (metadata, sensors, reference frames,
+// interframes) for a few seconds, then prints per-stream statistics. The
+// client rides the resilient session layer, so a scripted blackhole
+// (-blackhole) costs in-flight frames but never the session.
 package main
 
 import (
@@ -12,22 +14,47 @@ import (
 	"time"
 
 	"marnet/internal/core"
+	"marnet/internal/faults"
 	"marnet/internal/wire"
 )
 
 func main() {
 	dur := flag.Duration("dur", 3*time.Second, "demo duration")
-	dropEvery := flag.Int("drop-every", 9, "relay drops every n-th datagram (0 = lossless)")
+	dropEvery := flag.Int("drop-every", 9, "relay drops every n-th datagram (0 = off)")
+	loss := flag.Float64("loss", 0, "independent per-packet loss probability")
+	burst := flag.Bool("burst", false, "use Gilbert-Elliott burst loss (~25% stationary) instead of -loss")
 	delay := flag.Duration("delay", 5*time.Millisecond, "relay one-way delay")
+	jitter := flag.Duration("jitter", 0, "extra uniform delay in [0, jitter)")
+	blackhole := flag.Duration("blackhole", 0, "total outage of this length at one third of the run (0 = off)")
+	seed := flag.Int64("seed", 1, "fault-injection seed (runs are reproducible per seed)")
 	budget := flag.Float64("budget", 4e6, "starting send budget, bits/s")
 	flag.Parse()
-	if err := run(*dur, *dropEvery, *delay, *budget); err != nil {
+
+	dir := faults.DirConfig{
+		DropEvery: *dropEvery,
+		Loss:      *loss,
+		Delay:     *delay,
+		Jitter:    *jitter,
+	}
+	if *burst {
+		dir.DropEvery, dir.Loss = 0, 0
+		dir.GE = &faults.GilbertElliott{PGoodBad: 0.1, PBadGood: 0.2, LossGood: 0.03, LossBad: 0.7}
+	}
+	cfg := faults.Config{Seed: *seed, Up: dir, Down: dir}
+	if *blackhole > 0 {
+		at := *dur / 3
+		cfg.Timeline = []faults.Event{
+			{At: at, Dir: faults.Both, Blackhole: faults.On},
+			{At: at + *blackhole, Dir: faults.Both, Blackhole: faults.Off},
+		}
+	}
+	if err := run(*dur, cfg, *budget); err != nil {
 		fmt.Fprintln(os.Stderr, "artpdemo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dur time.Duration, dropEvery int, delay time.Duration, budget float64) error {
+func run(dur time.Duration, cfg faults.Config, budget float64) error {
 	var mu sync.Mutex
 	received := map[uint16]int{}
 	server, err := wire.Listen("127.0.0.1:0", wire.Config{
@@ -42,7 +69,7 @@ func run(dur time.Duration, dropEvery int, delay time.Duration, budget float64) 
 	}
 	defer server.Close()
 
-	relay, err := wire.NewRelay(server.LocalAddr().String(), dropEvery, delay)
+	relay, err := faults.NewRelay(server.LocalAddr().String(), cfg)
 	if err != nil {
 		return err
 	}
@@ -54,15 +81,24 @@ func run(dur time.Duration, dropEvery int, delay time.Duration, budget float64) 
 		{ID: 3, Class: core.ClassLossRecovery, Priority: core.PrioHighest, Rate: 1e6, Deadline: 250 * time.Millisecond},
 		{ID: 4, Class: core.ClassFullBestEffort, Priority: core.PrioLowest, Rate: 2e6},
 	}
-	client, err := wire.Dial(relay.Addr(), wire.Config{Streams: streams, StartBudget: budget})
+	sess, err := wire.DialSession(relay.Addr(), wire.Config{
+		Streams:     streams,
+		StartBudget: budget,
+		Keepalive:   100 * time.Millisecond,
+	}, wire.SessionConfig{
+		Seed: cfg.Seed,
+		OnStateChange: func(st wire.State) {
+			fmt.Printf("  [session] %v\n", st)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	defer client.Close()
+	defer sess.Close()
 
 	names := map[uint16]string{1: "metadata", 2: "sensors", 3: "ref-frames", 4: "inter-frames"}
-	fmt.Printf("artpdemo: server %s via relay %s (drop every %d, +%v delay), running %v\n",
-		server.LocalAddr(), relay.Addr(), dropEvery, delay, dur)
+	fmt.Printf("artpdemo: server %s via chaos relay %s, running %v (seed %d)\n",
+		server.LocalAddr(), relay.Addr(), dur, cfg.Seed)
 
 	stop := time.After(dur)
 	tick := time.NewTicker(10 * time.Millisecond)
@@ -82,7 +118,7 @@ loop:
 				size int
 			}{{1, 1, 120}, {2, 2, 250}, {3, 1, 1000}, {4, 3, 1100}} {
 				for i := 0; i < s.n; i++ {
-					ok, err := client.Send(s.id, make([]byte, s.size))
+					ok, err := sess.Send(s.id, make([]byte, s.size))
 					if err != nil {
 						return err
 					}
@@ -100,11 +136,13 @@ loop:
 	mu.Lock()
 	defer mu.Unlock()
 	for _, id := range []uint16{1, 2, 3, 4} {
-		st := client.Stats(id)
+		st := sess.Stats(id)
 		fmt.Printf("%-14s %8d %8d %8d %8d %7.2f Mb\n",
 			names[id], sent[id], received[id], st.Shed, st.Retx, st.Allocated/1e6)
 	}
-	fmt.Printf("\nrelay dropped %d datagrams; final budget %.2f Mb/s\n",
-		relay.Dropped(), client.Budget()/1e6)
+	c := relay.Counters(faults.Both)
+	fmt.Printf("\nrelay: %d dropped (%d loss, %d blackholed), %d dup, %d reordered; session resumed %d time(s); final budget %.2f Mb/s\n",
+		relay.TotalDropped(), c.Dropped, c.Blackholed, c.Duplicated, c.Reordered,
+		sess.Reconnects(), sess.Conn().Budget()/1e6)
 	return nil
 }

@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// chaosGE is the storm profile used across the chaos tests: stationary
+// loss = (1/3)*0.7 + (2/3)*0.03 ≈ 25%.
+var chaosGE = GilbertElliott{PGoodBad: 0.1, PBadGood: 0.2, LossGood: 0.03, LossBad: 0.7}
+
+func TestEngineDeterminism(t *testing.T) {
+	cfg := DirConfig{
+		Loss: 0.2, Dup: 0.1, Reorder: 0.1, Corrupt: 0.1,
+		Delay: time.Millisecond, Jitter: 2 * time.Millisecond,
+	}
+	a := newEngine(cfg, 99)
+	b := newEngine(cfg, 99)
+	for i := 0; i < 2000; i++ {
+		now := time.Duration(i) * 100 * time.Microsecond
+		va := a.decide(now, 200)
+		vb := b.decide(now, 200)
+		if va != vb {
+			t.Fatalf("packet %d: verdicts diverge: %+v vs %+v", i, va, vb)
+		}
+	}
+	if a.counters() != b.counters() {
+		t.Errorf("counters diverge: %+v vs %+v", a.counters(), b.counters())
+	}
+}
+
+func TestEngineSeedChangesDecisions(t *testing.T) {
+	cfg := DirConfig{Loss: 0.5}
+	a := newEngine(cfg, 1)
+	b := newEngine(cfg, 2)
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.decide(0, 100).drop != b.decide(0, 100).drop {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical drop sequences")
+	}
+}
+
+func TestGilbertElliottLossRate(t *testing.T) {
+	e := newEngine(DirConfig{GE: &chaosGE}, 7)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		e.decide(0, 100)
+	}
+	c := e.counters()
+	rate := float64(c.Dropped) / float64(n)
+	// Stationary rate ≈ 0.253; allow a generous band around it.
+	if rate < 0.18 || rate > 0.33 {
+		t.Errorf("GE loss rate = %.3f, want ≈0.25", rate)
+	}
+	// Burstiness: with the same number of losses, a bursty process produces
+	// far fewer loss runs than independent losses would.
+	e2 := newEngine(DirConfig{GE: &chaosGE}, 7)
+	runs, prev := 0, false
+	for i := 0; i < n; i++ {
+		d := e2.decide(0, 100).drop
+		if d && !prev {
+			runs++
+		}
+		prev = d
+	}
+	if runs == 0 || float64(runs) > 0.8*float64(c.Dropped) {
+		t.Errorf("loss runs = %d for %d losses — not bursty", runs, c.Dropped)
+	}
+}
+
+func TestEngineDropEvery(t *testing.T) {
+	e := newEngine(DirConfig{DropEvery: 5}, 0)
+	drops := 0
+	for i := 0; i < 100; i++ {
+		if e.decide(0, 100).drop {
+			drops++
+		}
+	}
+	if drops != 20 {
+		t.Errorf("DropEvery=5 dropped %d/100, want 20", drops)
+	}
+}
+
+func TestEngineBlackholeAndCounters(t *testing.T) {
+	e := newEngine(DirConfig{Blackhole: true}, 0)
+	for i := 0; i < 10; i++ {
+		if v := e.decide(0, 100); !v.drop {
+			t.Fatal("blackhole forwarded a packet")
+		}
+	}
+	c := e.counters()
+	if c.Blackholed != 10 || c.Forwarded != 0 || c.Received != 10 {
+		t.Errorf("counters = %+v", c)
+	}
+	e.setConfig(DirConfig{})
+	if v := e.decide(0, 100); v.drop {
+		t.Error("packet dropped after blackhole lifted")
+	}
+}
+
+func TestEngineRateCap(t *testing.T) {
+	// 8 kb/s with a 1 KiB bucket: a burst of 10x500B packets at t=0 must
+	// overflow.
+	e := newEngine(DirConfig{RateBps: 8e3, RateBurst: 1024}, 0)
+	for i := 0; i < 10; i++ {
+		e.decide(0, 500)
+	}
+	c := e.counters()
+	if c.RateDropped == 0 {
+		t.Error("rate cap never dropped")
+	}
+	// After a long idle refill, packets pass again.
+	if v := e.decide(10*time.Second, 500); v.drop {
+		t.Error("packet dropped after bucket refill")
+	}
+}
+
+func TestEngineDelayAndReorder(t *testing.T) {
+	e := newEngine(DirConfig{Delay: 3 * time.Millisecond, Reorder: 1.0}, 0)
+	v := e.decide(0, 100)
+	if v.drop {
+		t.Fatal("unexpected drop")
+	}
+	// Reorder adds the default 4ms hold on top of the base delay.
+	if v.delay != 7*time.Millisecond {
+		t.Errorf("delay = %v, want 7ms", v.delay)
+	}
+	if e.counters().Reordered != 1 {
+		t.Errorf("reordered = %d", e.counters().Reordered)
+	}
+}
+
+func TestCorruptBitFlipsExactlyOneBit(t *testing.T) {
+	e := newEngine(DirConfig{}, 3)
+	orig := []byte{0x00, 0xFF, 0xA5, 0x3C}
+	pkt := append([]byte(nil), orig...)
+	e.corruptBit(pkt)
+	diff := 0
+	for i := range pkt {
+		x := pkt[i] ^ orig[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("flipped %d bits, want 1", diff)
+	}
+	e.corruptBit(nil) // must not panic
+}
+
+func TestSortEventsOrdersByTime(t *testing.T) {
+	tl := []Event{
+		{At: 30 * time.Millisecond, Blackhole: Off},
+		{At: 10 * time.Millisecond, Blackhole: On},
+		{At: 20 * time.Millisecond, Upstream: "x"},
+	}
+	sorted := sortEvents(tl)
+	if sorted[0].At != 10*time.Millisecond || sorted[1].At != 20*time.Millisecond || sorted[2].At != 30*time.Millisecond {
+		t.Errorf("events out of order: %+v", sorted)
+	}
+	if tl[0].At != 30*time.Millisecond {
+		t.Error("sortEvents mutated its input")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" || Both.String() != "both" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(9).String() != "?" {
+		t.Error("unknown direction should render as ?")
+	}
+}

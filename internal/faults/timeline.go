@@ -1,0 +1,40 @@
+package faults
+
+import (
+	"sort"
+	"time"
+)
+
+// Event is one step of a scripted fault timeline, applied at elapsed time
+// At (since the relay/filter started). Exactly one of the action fields
+// should be set; an event with several set applies them all.
+type Event struct {
+	At  time.Duration
+	Dir Direction // which direction the action applies to (Both = 2)
+
+	// Set replaces the direction's impairment config (random stream and
+	// counters are preserved).
+	Set *DirConfig
+	// Blackhole toggles a total drop window; set it on one direction only
+	// for a one-way partition.
+	Blackhole *bool
+	// Upstream redirects the relay to a new server address — this is how a
+	// scripted server restart or migration is expressed. Ignored by
+	// LinkFilter.
+	Upstream string
+}
+
+// On and Off are ready-made operands for Event.Blackhole.
+var (
+	on  = true
+	off = false
+	On  = &on
+	Off = &off
+)
+
+// sortEvents returns a copy of the timeline in firing order.
+func sortEvents(tl []Event) []Event {
+	out := append([]Event(nil), tl...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

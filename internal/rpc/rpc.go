@@ -9,12 +9,21 @@
 // fail fast with ErrDeadline — the caller is expected to degrade (reuse
 // the previous pose, skip the frame) rather than stall, per the paper's
 // graceful-degradation doctrine.
+//
+// The client side is built to survive hostile networks (Section VI):
+// the underlying session resumes itself after outages, calls retry with
+// seeded-jitter exponential backoff inside their deadline, slow calls can
+// hedge a duplicate request after a p99-based delay, a circuit breaker
+// sheds work from a dead server, and FailoverClient dispatches to backup
+// servers when the primary's breaker opens (the Figure 5a multi-server
+// topology on real sockets).
 package rpc
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -34,15 +43,30 @@ const rpcHeader = 9
 
 // Errors.
 var (
-	ErrDeadline = errors.New("rpc: call deadline exceeded")
-	ErrShed     = errors.New("rpc: request shed by transport")
-	ErrClosed   = errors.New("rpc: endpoint closed")
-	ErrTooBig   = errors.New("rpc: payload too large")
+	ErrDeadline    = errors.New("rpc: call deadline exceeded")
+	ErrShed        = errors.New("rpc: request shed by transport")
+	ErrClosed      = errors.New("rpc: endpoint closed")
+	ErrTooBig      = errors.New("rpc: payload too large")
+	ErrBreakerOpen = errors.New("rpc: circuit breaker open")
 )
 
 // Handler computes a response for a method and request payload. It runs on
 // the server's receive path; heavy work should be dispatched by the app.
 type Handler func(method uint8, req []byte) []byte
+
+// ServerOption tunes a Server at construction.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	idleTimeout time.Duration
+}
+
+// WithPeerIdleTimeout evicts client connections silent for longer than d,
+// bounding per-peer state on long-lived servers (clients with keepalive
+// enabled refresh their liveness with every heartbeat).
+func WithPeerIdleTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.idleTimeout = d }
+}
 
 // Server answers calls from any number of clients: behind one shared UDP
 // socket, each client address gets its own ARTP connection (streams,
@@ -57,11 +81,19 @@ type Server struct {
 }
 
 // NewServer listens on addr. key (optional) enables AES-GCM sealing.
-func NewServer(addr string, key []byte, handler Handler) (*Server, error) {
+func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (*Server, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("rpc: nil handler")
 	}
+	var so serverOptions
+	for _, opt := range opts {
+		opt(&so)
+	}
 	s := &Server{handler: handler, conns: make(map[string]*wire.Conn)}
+	var muxOpts []wire.MuxOption
+	if so.idleTimeout > 0 {
+		muxOpts = append(muxOpts, wire.WithIdleTimeout(so.idleTimeout))
+	}
 	mux, err := wire.ListenMux(addr, func(*net.UDPAddr) wire.Config {
 		return wire.Config{
 			Streams: []wire.StreamSpec{
@@ -72,15 +104,24 @@ func NewServer(addr string, key []byte, handler Handler) (*Server, error) {
 			Key:         key,
 			OnMessage:   s.onMessage,
 		}
-	})
+	}, muxOpts...)
 	if err != nil {
 		return nil, err
 	}
 	// The mux registers a peer's conn before its first datagram is
-	// processed, so onMessage can always resolve the sender.
+	// processed, so onMessage can always resolve the sender — and
+	// unregisters it on close/eviction so the map tracks the live peer
+	// population instead of leaking an entry per departed address.
 	mux.SetOnConn(func(conn *wire.Conn, peer *net.UDPAddr) {
 		s.mu.Lock()
 		s.conns[peer.String()] = conn
+		s.mu.Unlock()
+	})
+	mux.SetOnConnClosed(func(conn *wire.Conn, peer *net.UDPAddr) {
+		s.mu.Lock()
+		if s.conns[peer.String()] == conn {
+			delete(s.conns, peer.String())
+		}
 		s.mu.Unlock()
 	})
 	s.mux = mux
@@ -92,6 +133,14 @@ func (s *Server) Addr() string { return s.mux.LocalAddr().String() }
 
 // Clients reports how many client connections are live.
 func (s *Server) Clients() int { return len(s.mux.Conns()) }
+
+// TrackedPeers reports how many per-peer entries the dispatch table holds
+// (equal to Clients unless something leaks).
+func (s *Server) TrackedPeers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
 
 // Served reports how many calls were answered.
 func (s *Server) Served() int64 {
@@ -129,19 +178,56 @@ func (s *Server) onMessage(m wire.Message) {
 	s.mu.Unlock()
 }
 
+// RetryPolicy bounds per-call retransmission of whole requests.
+type RetryPolicy struct {
+	// Max is the attempt budget per call (default 1 = no retry). The call
+	// deadline is split across remaining attempts, so retries always fit
+	// inside it.
+	Max int
+	// Backoff is the initial retry backoff (default 20 ms); each retry
+	// doubles it up to MaxBackoff (default 250 ms), with seeded jitter in
+	// [b/2, b].
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// HedgePolicy duplicates slow requests: when a response has not arrived
+// after the hedge delay, a second identical request is launched and the
+// first response wins.
+type HedgePolicy struct {
+	Enabled bool
+	// Delay before hedging; 0 means adaptive — the observed p99 call
+	// latency (half the attempt timeout until enough samples exist).
+	Delay time.Duration
+}
+
+// ClientStats is a snapshot of a client's counters.
+type ClientStats struct {
+	Calls            int64 // Call invocations
+	Timeouts         int64 // calls that exhausted their deadline
+	ShedCalls        int64 // transport-level sheds (per attempt)
+	Retries          int64 // extra attempts after a failed one
+	Hedges           int64 // duplicate requests launched
+	HedgeWins        int64 // calls won by the hedged request
+	BreakerFastFails int64 // calls rejected while the breaker was open
+	BreakerOpens     int64 // closed→open breaker transitions
+	Reconnects       int64 // session resumptions after dead-peer verdicts
+}
+
 // Client issues calls to a Server.
 type Client struct {
-	conn *wire.Conn
+	sess *wire.Session
+	cfg  ClientConfig
 
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan []byte
 	closed  bool
+	rng     *rand.Rand
+	stats   ClientStats
 
-	// Stats.
-	Calls     int64
-	Timeouts  int64
-	ShedCalls int64
+	breaker *breaker
+	lat     *latencyTracker
 }
 
 // ClientConfig tunes a client.
@@ -156,6 +242,24 @@ type ClientConfig struct {
 	RequestDeadline time.Duration
 	// StartBudget seeds the congestion controller (default 10 Mb/s).
 	StartBudget float64
+
+	// Keepalive is the heartbeat interval for dead-peer detection and
+	// session resumption (default 250 ms; KeepaliveMiss defaults to 3).
+	Keepalive     time.Duration
+	KeepaliveMiss int
+	// RedialMin/RedialMax bound the session re-dial backoff.
+	RedialMin, RedialMax time.Duration
+	// Retry, Hedge and Breaker make individual calls survive loss bursts,
+	// stragglers and dead servers. All are off by default.
+	Retry   RetryPolicy
+	Hedge   HedgePolicy
+	Breaker BreakerPolicy
+	// Seed drives every randomized decision (retry jitter, redial jitter)
+	// so chaos runs are reproducible.
+	Seed int64
+	// OnStateChange observes session liveness (wire.StateDead on outage,
+	// wire.StateActive on recovery).
+	OnStateChange func(wire.State)
 }
 
 // Dial connects to a server.
@@ -169,22 +273,52 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.StartBudget <= 0 {
 		cfg.StartBudget = 10e6
 	}
-	c := &Client{pending: make(map[uint64]chan []byte)}
-	conn, err := wire.Dial(addr, wire.Config{
+	c := &Client{
+		cfg:     cfg,
+		pending: make(map[uint64]chan []byte),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		breaker: newBreaker(cfg.Breaker),
+		lat:     newLatencyTracker(),
+	}
+	sess, err := wire.DialSession(addr, wire.Config{
 		Streams: []wire.StreamSpec{
 			{ID: reqStream, Class: core.ClassLossRecovery, Priority: core.PrioHighest,
 				Rate: cfg.RequestRate, Deadline: cfg.RequestDeadline},
 		},
-		StartBudget: cfg.StartBudget,
-		Key:         cfg.Key,
-		OnMessage:   c.onMessage,
+		StartBudget:   cfg.StartBudget,
+		Key:           cfg.Key,
+		OnMessage:     c.onMessage,
+		Keepalive:     cfg.Keepalive,
+		KeepaliveMiss: cfg.KeepaliveMiss,
+	}, wire.SessionConfig{
+		RedialMin:     cfg.RedialMin,
+		RedialMax:     cfg.RedialMax,
+		Seed:          cfg.Seed + 1,
+		OnStateChange: cfg.OnStateChange,
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.conn = conn
+	c.sess = sess
 	return c, nil
 }
+
+// Stats returns a consistent snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	st := c.stats
+	c.mu.Unlock()
+	st.BreakerOpens = c.breaker.openCount()
+	st.Reconnects = c.sess.Reconnects()
+	return st
+}
+
+// BreakerOpen reports whether the circuit breaker is currently rejecting
+// calls (FailoverClient uses this to route around the primary).
+func (c *Client) BreakerOpen() bool { return !c.breaker.allowPeek(time.Now()) }
+
+// Session exposes the underlying resilient session.
+func (c *Client) Session() *wire.Session { return c.sess }
 
 // Close aborts all pending calls and closes the connection.
 func (c *Client) Close() error {
@@ -195,7 +329,7 @@ func (c *Client) Close() error {
 		delete(c.pending, id)
 	}
 	c.mu.Unlock()
-	return c.conn.Close()
+	return c.sess.Close()
 }
 
 func (c *Client) onMessage(m wire.Message) {
@@ -215,7 +349,114 @@ func (c *Client) onMessage(m wire.Message) {
 	}
 }
 
-// Call sends a request and waits up to deadline for the response.
+// launch registers a call id and sends the request once.
+func (c *Client) launch(method uint8, req []byte) (uint64, chan []byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan []byte, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	buf := make([]byte, rpcHeader+len(req))
+	binary.LittleEndian.PutUint64(buf, id)
+	buf[8] = method
+	copy(buf[rpcHeader:], req)
+
+	ok, err := c.sess.Send(reqStream, buf)
+	if err != nil || !ok {
+		c.unregister(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		c.mu.Lock()
+		c.stats.ShedCalls++
+		c.mu.Unlock()
+		return 0, nil, ErrShed
+	}
+	return id, ch, nil
+}
+
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// attempt performs one (possibly hedged) request/response exchange.
+func (c *Client) attempt(method uint8, req []byte, timeout time.Duration) ([]byte, error) {
+	id1, ch1, err := c.launch(method, req)
+	if err != nil {
+		return nil, err
+	}
+	defer c.unregister(id1)
+
+	var hedgeC <-chan time.Time
+	if c.cfg.Hedge.Enabled {
+		if d := c.hedgeDelay(timeout); d < timeout {
+			ht := time.NewTimer(d)
+			defer ht.Stop()
+			hedgeC = ht.C
+		}
+	}
+	var id2 uint64
+	var ch2 chan []byte
+	defer func() {
+		if id2 != 0 {
+			c.unregister(id2)
+		}
+	}()
+
+	overall := time.NewTimer(timeout)
+	defer overall.Stop()
+	for {
+		select {
+		case resp, open := <-ch1:
+			if !open {
+				return nil, ErrClosed
+			}
+			return resp, nil
+		case resp, open := <-ch2:
+			if !open {
+				return nil, ErrClosed
+			}
+			c.mu.Lock()
+			c.stats.HedgeWins++
+			c.mu.Unlock()
+			return resp, nil
+		case <-hedgeC:
+			hedgeC = nil
+			if hid, hch, herr := c.launch(method, req); herr == nil {
+				id2, ch2 = hid, hch
+				c.mu.Lock()
+				c.stats.Hedges++
+				c.mu.Unlock()
+			}
+		case <-overall.C:
+			return nil, fmt.Errorf("%w after %v", ErrDeadline, timeout)
+		}
+	}
+}
+
+// hedgeDelay picks how long to wait before duplicating a request.
+func (c *Client) hedgeDelay(timeout time.Duration) time.Duration {
+	if c.cfg.Hedge.Delay > 0 {
+		return c.cfg.Hedge.Delay
+	}
+	if d, ok := c.lat.quantile(0.99); ok {
+		return d
+	}
+	return timeout / 2
+}
+
+// Call sends a request and waits up to deadline for the response,
+// retrying (per RetryPolicy) with seeded-jitter exponential backoff inside
+// the deadline, hedging stragglers (per HedgePolicy), and honoring the
+// circuit breaker.
 func (c *Client) Call(method uint8, req []byte, deadline time.Duration) ([]byte, error) {
 	if len(req)+rpcHeader > wire.MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooBig, len(req))
@@ -225,45 +466,72 @@ func (c *Client) Call(method uint8, req []byte, deadline time.Duration) ([]byte,
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
-	c.nextID++
-	id := c.nextID
-	ch := make(chan []byte, 1)
-	c.pending[id] = ch
-	c.Calls++
+	c.stats.Calls++
 	c.mu.Unlock()
 
-	buf := make([]byte, rpcHeader+len(req))
-	binary.LittleEndian.PutUint64(buf, id)
-	buf[8] = method
-	copy(buf[rpcHeader:], req)
-
-	ok, err := c.conn.Send(reqStream, buf)
-	if err != nil || !ok {
+	if !c.breaker.allow(time.Now()) {
 		c.mu.Lock()
-		delete(c.pending, id)
-		if !ok && err == nil {
-			c.ShedCalls++
-		}
+		c.stats.BreakerFastFails++
 		c.mu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		return nil, ErrShed
+		return nil, ErrBreakerOpen
 	}
 
-	timer := time.NewTimer(deadline)
-	defer timer.Stop()
-	select {
-	case resp, open := <-ch:
-		if !open {
-			return nil, ErrClosed
-		}
-		return resp, nil
-	case <-timer.C:
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.Timeouts++
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w after %v", ErrDeadline, deadline)
+	attempts := c.cfg.Retry.Max
+	if attempts < 1 {
+		attempts = 1
 	}
+	start := time.Now()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		remaining := deadline - time.Since(start)
+		if remaining <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w after %v", ErrDeadline, deadline)
+			}
+			break
+		}
+		per := remaining / time.Duration(attempts-a)
+		t0 := time.Now()
+		resp, err := c.attempt(method, req, per)
+		if err == nil {
+			c.lat.record(time.Since(t0))
+			c.breaker.record(true, time.Now())
+			return resp, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrClosed) {
+			break // permanent: no point retrying
+		}
+		if a < attempts-1 {
+			c.mu.Lock()
+			c.stats.Retries++
+			b := c.cfg.Retry.Backoff
+			if b <= 0 {
+				b = 20 * time.Millisecond
+			}
+			maxB := c.cfg.Retry.MaxBackoff
+			if maxB <= 0 {
+				maxB = 250 * time.Millisecond
+			}
+			b <<= a
+			if b > maxB {
+				b = maxB
+			}
+			sleep := b/2 + time.Duration(c.rng.Int63n(int64(b/2)+1))
+			c.mu.Unlock()
+			if rem := deadline - time.Since(start); sleep > rem {
+				sleep = rem
+			}
+			if sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+	}
+	c.breaker.record(false, time.Now())
+	if errors.Is(lastErr, ErrDeadline) {
+		c.mu.Lock()
+		c.stats.Timeouts++
+		c.mu.Unlock()
+	}
+	return nil, lastErr
 }

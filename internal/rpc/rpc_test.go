@@ -72,8 +72,8 @@ func TestCallDeadline(t *testing.T) {
 	if !errors.Is(err, ErrDeadline) {
 		t.Fatalf("err = %v, want ErrDeadline", err)
 	}
-	if cl.Timeouts != 1 {
-		t.Errorf("timeouts = %d", cl.Timeouts)
+	if st := cl.Stats(); st.Timeouts != 1 {
+		t.Errorf("timeouts = %d", st.Timeouts)
 	}
 }
 

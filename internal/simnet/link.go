@@ -11,8 +11,28 @@ type LinkStats struct {
 	Delivered    int64 // packets handed to the destination
 	LostPackets  int64 // packets dropped by the random-loss process
 	QueueDrops   int64 // packets rejected by the queue
+	FilterDrops  int64 // packets dropped by the attached PacketFilter
+	FilterDups   int64 // extra deliveries injected by the PacketFilter
 	MaxQueueLen  int
 	MaxQueueByte int
+}
+
+// Verdict is a PacketFilter's decision for one packet about to propagate.
+// Corruption has no byte-level representation in the simulator, so filters
+// model it as a drop (the receiver's integrity check would discard the
+// frame anyway) and keep their own corruption counter.
+type Verdict struct {
+	Drop       bool
+	Duplicate  bool          // deliver a second copy at the same time
+	ExtraDelay time.Duration // added to the propagation delay
+}
+
+// PacketFilter decides, per packet, how an external fault process (e.g.
+// the internal/faults engine) impairs a link. It runs on the simulator
+// goroutine at serialization time and composes with the link's own loss
+// and jitter models.
+type PacketFilter interface {
+	Filter(pkt *Packet, now time.Duration) Verdict
 }
 
 // Link is a unidirectional store-and-forward link: a queue, a serializer
@@ -32,6 +52,7 @@ type Link struct {
 	busy   bool
 	stats  LinkStats
 	onTx   func(*Packet) // optional tap at serialization time
+	filter PacketFilter  // optional external fault process
 	name   string
 }
 
@@ -54,6 +75,10 @@ func WithName(name string) LinkOption { return func(l *Link) { l.name = name } }
 // WithTxTap installs a callback invoked when each packet begins
 // serialization.
 func WithTxTap(fn func(*Packet)) LinkOption { return func(l *Link) { l.onTx = fn } }
+
+// WithFilter attaches an external per-packet fault process (see
+// internal/faults.NewLinkFilter for the chaos-engine adapter).
+func WithFilter(f PacketFilter) LinkOption { return func(l *Link) { l.filter = f } }
 
 // NewLink creates a link of rate bits/s and one-way propagation delay d,
 // delivering to dst.
@@ -141,13 +166,34 @@ func (l *Link) startTx() {
 		extra = time.Duration(l.sim.Rand().Int63n(int64(l.jitter)))
 	}
 	arrive := txTime + l.delay + extra
-	if lost {
+	filtered := false
+	duplicate := false
+	if l.filter != nil && !lost {
+		v := l.filter.Filter(pkt, l.sim.Now())
+		filtered = v.Drop
+		if !filtered {
+			arrive += v.ExtraDelay
+			duplicate = v.Duplicate
+		}
+	}
+	switch {
+	case lost:
 		l.stats.LostPackets++
-	} else {
+	case filtered:
+		l.stats.FilterDrops++
+	default:
 		l.sim.Schedule(arrive, func() {
 			l.stats.Delivered++
 			l.dst.Handle(pkt)
 		})
+		if duplicate {
+			dup := *pkt
+			l.stats.FilterDups++
+			l.sim.Schedule(arrive, func() {
+				l.stats.Delivered++
+				l.dst.Handle(&dup)
+			})
+		}
 	}
 	l.sim.Schedule(txTime, l.startTx)
 }

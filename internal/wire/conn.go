@@ -35,6 +35,32 @@ type Message struct {
 	Peer *net.UDPAddr
 }
 
+// State is the liveness of a connection's peer as judged by keepalive.
+type State int
+
+// Connection states.
+const (
+	// StateActive: frames (or heartbeat replies) are arriving.
+	StateActive State = iota
+	// StateDead: KeepaliveMiss probe intervals elapsed with nothing heard.
+	StateDead
+	// StateClosed: Close was called locally.
+	StateClosed
+)
+
+// String renders the state for diagnostics.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDead:
+		return "dead"
+	case StateClosed:
+		return "closed"
+	}
+	return "?"
+}
+
 // Config configures a Conn.
 type Config struct {
 	Streams     []StreamSpec
@@ -47,6 +73,19 @@ type Config struct {
 	// Key, when set (16/24/32 bytes), seals every payload with AES-GCM and
 	// authenticates headers (Section VI-G). Both endpoints must share it.
 	Key []byte
+	// Keepalive, when > 0, sends a heartbeat ping every interval and
+	// declares the peer dead after KeepaliveMiss unanswered intervals.
+	// Peers answer pings automatically whether or not they enable
+	// keepalive themselves.
+	Keepalive time.Duration
+	// KeepaliveMiss is how many silent probe intervals mean death
+	// (default 3).
+	KeepaliveMiss int
+	// OnStateChange observes liveness transitions (Active↔Dead, and Closed
+	// on local close). It is called without internal locks held; it must
+	// not call back into blocking Conn methods from the same goroutine it
+	// wants to keep serviced.
+	OnStateChange func(State)
 }
 
 type wpending struct {
@@ -93,15 +132,17 @@ type Conn struct {
 	epoch time.Time
 	cfg   Config
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	peer    *net.UDPAddr
-	ctrl    *core.Controller
-	streams map[uint16]*wstream
-	bands   [4][]outFrame
-	closed  bool
-	done    chan struct{}
-	sealer  *sealer // nil when Config.Key is unset
+	mu        sync.Mutex
+	cond      *sync.Cond
+	peer      *net.UDPAddr
+	ctrl      *core.Controller
+	streams   map[uint16]*wstream
+	bands     [4][]outFrame
+	closed    bool
+	done      chan struct{}
+	sealer    *sealer // nil when Config.Key is unset
+	state     State
+	lastHeard time.Time // last authenticated frame from the peer
 
 	// Mux mode: datagrams arrive via recvCh instead of the socket, writes
 	// go through the shared socket, and Close must not close that socket.
@@ -166,15 +207,20 @@ func newConn(sock *net.UDPConn, peer *net.UDPAddr, cfg Config) (*Conn, error) {
 
 // newConnCommon builds the connection state without launching goroutines.
 func newConnCommon(sock *net.UDPConn, peer *net.UDPAddr, cfg Config, sl *sealer) *Conn {
+	if cfg.KeepaliveMiss <= 0 {
+		cfg.KeepaliveMiss = 3
+	}
 	c := &Conn{
-		sock:    sock,
-		epoch:   time.Now(),
-		cfg:     cfg,
-		peer:    peer,
-		ctrl:    core.NewController(cfg.StartBudget),
-		streams: make(map[uint16]*wstream, len(cfg.Streams)),
-		done:    make(chan struct{}),
-		sealer:  sl,
+		sock:      sock,
+		epoch:     time.Now(),
+		cfg:       cfg,
+		peer:      peer,
+		ctrl:      core.NewController(cfg.StartBudget),
+		streams:   make(map[uint16]*wstream, len(cfg.Streams)),
+		done:      make(chan struct{}),
+		sealer:    sl,
+		state:     StateActive,
+		lastHeard: time.Now(),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	for _, spec := range cfg.Streams {
@@ -199,6 +245,64 @@ func (c *Conn) start() {
 	go c.readLoop()
 	go c.paceLoop()
 	go c.sweepLoop()
+	if c.cfg.Keepalive > 0 {
+		c.wg.Add(1)
+		go c.keepaliveLoop()
+	}
+}
+
+// keepaliveLoop probes the peer every Keepalive interval and flips the
+// connection state when the silence threshold is crossed (Section VI:
+// dead-peer detection is what lets the session layer fail over instead of
+// stalling on a blackholed path).
+func (c *Conn) keepaliveLoop() {
+	defer c.wg.Done()
+	interval := c.cfg.Keepalive
+	deadAfter := time.Duration(c.cfg.KeepaliveMiss) * interval
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		peer := c.peer
+		silent := time.Since(c.lastHeard)
+		notify := State(-1)
+		if c.state == StateActive && silent >= deadAfter {
+			c.state = StateDead
+			notify = StateDead
+		}
+		c.mu.Unlock()
+		if notify != State(-1) && c.cfg.OnStateChange != nil {
+			c.cfg.OnStateChange(notify)
+		}
+		if peer != nil {
+			ping := Header{Type: TypePing, SendMicro: uint64(c.now().Microseconds())}
+			c.writeFrame(ping, nil, peer) //nolint:errcheck // best-effort probe
+		}
+	}
+}
+
+// State reports the current liveness judgement.
+func (c *Conn) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// LastActivity reports when the last authenticated frame arrived from the
+// peer (connection creation time if none has).
+func (c *Conn) LastActivity() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastHeard
 }
 
 // writeFrame seals (when a key is configured) and transmits one frame to
@@ -244,9 +348,13 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.state = StateClosed
 	close(c.done)
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	if c.cfg.OnStateChange != nil {
+		c.cfg.OnStateChange(StateClosed)
+	}
 	var err error
 	if c.muxced {
 		if c.onClose != nil {
@@ -452,6 +560,12 @@ func (c *Conn) readLoop() {
 		if c.peer == nil {
 			c.peer = raddr
 		}
+		c.lastHeard = time.Now()
+		revived := false
+		if c.state == StateDead {
+			c.state = StateActive
+			revived = true
+		}
 		switch hdr.Type {
 		case TypeData:
 			c.onDataLocked(hdr, payload)
@@ -459,8 +573,16 @@ func (c *Conn) readLoop() {
 			c.onAckLocked(hdr)
 		case TypeNack:
 			c.onNackLocked(hdr, payload)
+		case TypePing:
+			pong := Header{Type: TypePong, SendMicro: hdr.SendMicro}
+			c.writeFrame(pong, nil, c.peer) //nolint:errcheck // best-effort heartbeat
+		case TypePong:
+			// Liveness is the lastHeard update above; nothing else to do.
 		}
 		c.mu.Unlock()
+		if revived && c.cfg.OnStateChange != nil {
+			c.cfg.OnStateChange(StateActive)
+		}
 	}
 }
 
@@ -631,6 +753,40 @@ func (c *Conn) sweepLoop() {
 type StreamStats struct {
 	Sent, Shed, Retx, Received, Duplicates int64
 	Allocated                              float64
+}
+
+// AuthFailureCount reports how many sealed frames failed authentication
+// (corrupted or forged datagrams dropped before any protocol processing).
+func (c *Conn) AuthFailureCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.AuthFailures
+}
+
+// streamSeqs snapshots every sending stream's next sequence number, for
+// session resumption.
+func (c *Conn) streamSeqs() map[uint16]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint16]int64, len(c.streams))
+	for id, st := range c.streams {
+		out[id] = st.nextSeq
+	}
+	return out
+}
+
+// setStreamSeqs fast-forwards sending sequence numbers to at least the
+// given values. A resumed session calls this before any Send so the peer's
+// duplicate filter (which remembers the pre-outage sequence space) does
+// not swallow fresh data.
+func (c *Conn) setStreamSeqs(seqs map[uint16]int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, seq := range seqs {
+		if st, ok := c.streams[id]; ok && seq > st.nextSeq {
+			st.nextSeq = seq
+		}
+	}
 }
 
 // Stats returns a snapshot for a stream.

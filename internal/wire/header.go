@@ -30,11 +30,16 @@ import (
 	"fmt"
 )
 
-// Frame types.
+// Frame types. Ping/Pong are the keepalive heartbeat: a ping carries the
+// sender's timestamp, the pong echoes it; both have empty payloads (but
+// still carry an authentication tag when sealing is on, so liveness
+// cannot be forged).
 const (
 	TypeData = 1
 	TypeAck  = 2
 	TypeNack = 3
+	TypePing = 4
+	TypePong = 5
 )
 
 // Codec constants.
@@ -73,7 +78,7 @@ func AppendFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
 		return dst, fmt.Errorf("%w: %d bytes", ErrOversize, len(payload))
 	}
 	switch h.Type {
-	case TypeData, TypeAck, TypeNack:
+	case TypeData, TypeAck, TypeNack, TypePing, TypePong:
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadType, h.Type)
 	}
@@ -114,7 +119,7 @@ func DecodeFrame(buf []byte) (Header, []byte, error) {
 		PayloadLen: binary.LittleEndian.Uint16(buf[24:]),
 	}
 	switch h.Type {
-	case TypeData, TypeAck, TypeNack:
+	case TypeData, TypeAck, TypeNack, TypePing, TypePong:
 	default:
 		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadType, h.Type)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Mux serves many ARTP peers over one UDP socket: each remote address gets
@@ -20,19 +21,35 @@ type Mux struct {
 	// via SetOnConn (or before any client traffic arrives).
 	OnConn func(conn *Conn, peer *net.UDPAddr)
 
-	mu     sync.Mutex
-	conns  map[string]*Conn
-	closed bool
-	wg     sync.WaitGroup
+	idleTimeout time.Duration
+
+	mu           sync.Mutex
+	conns        map[string]*Conn
+	onConnClosed func(conn *Conn, peer *net.UDPAddr)
+	closed       bool
+	done         chan struct{}
+	wg           sync.WaitGroup
 
 	// Stats (guarded by mu).
 	Accepted int64
+	Evicted  int64 // peers closed by idle eviction
 	Overruns int64 // datagrams dropped because a peer's queue was full
+}
+
+// MuxOption configures a Mux at listen time.
+type MuxOption func(*Mux)
+
+// WithIdleTimeout enables idle-peer eviction: a peer that has sent nothing
+// (not even a keepalive) for d is closed and removed, so an offloading
+// server's per-peer state tracks its live population instead of every
+// address that ever appeared.
+func WithIdleTimeout(d time.Duration) MuxOption {
+	return func(m *Mux) { m.idleTimeout = d }
 }
 
 // ListenMux binds addr and starts accepting peers. configFor must not be
 // nil.
-func ListenMux(addr string, configFor func(peer *net.UDPAddr) Config) (*Mux, error) {
+func ListenMux(addr string, configFor func(peer *net.UDPAddr) Config, opts ...MuxOption) (*Mux, error) {
 	if configFor == nil {
 		return nil, fmt.Errorf("wire: nil configFor")
 	}
@@ -48,9 +65,17 @@ func ListenMux(addr string, configFor func(peer *net.UDPAddr) Config) (*Mux, err
 		sock:      sock,
 		configFor: configFor,
 		conns:     make(map[string]*Conn),
+		done:      make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(m)
 	}
 	m.wg.Add(1)
 	go m.readLoop()
+	if m.idleTimeout > 0 {
+		m.wg.Add(1)
+		go m.evictLoop()
+	}
 	return m, nil
 }
 
@@ -59,6 +84,47 @@ func (m *Mux) SetOnConn(fn func(conn *Conn, peer *net.UDPAddr)) {
 	m.mu.Lock()
 	m.OnConn = fn
 	m.mu.Unlock()
+}
+
+// SetOnConnClosed installs a callback fired whenever a registered peer
+// connection is closed and removed — by idle eviction or by an explicit
+// Close on the peer's Conn. It does not fire during Mux.Close teardown.
+// Layers that key per-peer state on the mux (e.g. an RPC server) use this
+// to drop their entries instead of leaking one per departed address.
+func (m *Mux) SetOnConnClosed(fn func(conn *Conn, peer *net.UDPAddr)) {
+	m.mu.Lock()
+	m.onConnClosed = fn
+	m.mu.Unlock()
+}
+
+// evictLoop closes peers that have been silent longer than idleTimeout.
+func (m *Mux) evictLoop() {
+	defer m.wg.Done()
+	period := m.idleTimeout / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+		}
+		var idle []*Conn
+		m.mu.Lock()
+		for _, c := range m.conns {
+			if time.Since(c.LastActivity()) > m.idleTimeout {
+				idle = append(idle, c)
+				m.Evicted++
+			}
+		}
+		m.mu.Unlock()
+		for _, c := range idle {
+			c.Close() //nolint:errcheck // eviction is best-effort
+		}
+	}
 }
 
 // LocalAddr returns the bound address.
@@ -86,6 +152,7 @@ func (m *Mux) Close() error {
 		return nil
 	}
 	m.closed = true
+	close(m.done)
 	conns := make([]*Conn, 0, len(m.conns))
 	for _, c := range m.conns {
 		conns = append(conns, c)
@@ -167,10 +234,20 @@ func (m *Mux) connFor(raddr *net.UDPAddr) *Conn {
 	return c
 }
 
-func (m *Mux) drop(key string) {
+// dropConn removes a closing connection from the peer table, but only if
+// it is still the registered connection for its key — a duplicate conn
+// losing the accept race must not evict the winner.
+func (m *Mux) dropConn(key string, c *Conn) {
 	m.mu.Lock()
-	delete(m.conns, key)
+	var closed func(*Conn, *net.UDPAddr)
+	if m.conns[key] == c {
+		delete(m.conns, key)
+		closed = m.onConnClosed
+	}
 	m.mu.Unlock()
+	if closed != nil {
+		closed(c, c.peer)
+	}
 }
 
 // newMuxConn builds a per-peer Conn that shares the mux socket.
@@ -192,7 +269,7 @@ func newMuxConn(m *Mux, peer *net.UDPAddr, cfg Config) (*Conn, error) {
 	c.muxced = true
 	c.recvCh = make(chan []byte, 256)
 	key := peer.String()
-	c.onClose = func() { m.drop(key) }
+	c.onClose = func() { m.dropConn(key, c) }
 	c.start()
 	return c, nil
 }

@@ -1,17 +1,20 @@
 package wire
 
 import (
+	"container/heap"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
 
-// Relay is a UDP impairment middlebox for testing and demos: it forwards
-// datagrams between a client and a fixed upstream server, optionally
-// dropping every n-th datagram and adding a fixed delay in each direction.
-// It is how the integration tests exercise loss recovery on a real socket
-// without real packet loss.
+// Relay is a minimal UDP impairment middlebox for testing and demos: it
+// forwards datagrams between a client and a fixed upstream server,
+// optionally dropping every n-th datagram and adding a fixed delay in each
+// direction. It is how the integration tests exercise loss recovery on a
+// real socket without real packet loss. For probabilistic and scripted
+// impairments (burst loss, corruption, blackholes, server swaps) use
+// internal/faults.Relay instead.
 type Relay struct {
 	DropEvery int           // drop every n-th forwarded datagram (0 = none)
 	Delay     time.Duration // extra one-way delay
@@ -23,7 +26,10 @@ type Relay struct {
 	client  *net.UDPAddr
 	count   int
 	dropped int64
+	dq      relayHeap
+	seq     uint64
 	closed  bool
+	kick    chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
 }
@@ -43,10 +49,12 @@ func NewRelay(upstream string, dropEvery int, delay time.Duration) (*Relay, erro
 		Delay:     delay,
 		sock:      sock,
 		upstream:  uaddr,
+		kick:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
-	r.wg.Add(1)
+	r.wg.Add(2)
 	go r.loop()
+	go r.dispatchLoop()
 	return r, nil
 }
 
@@ -75,6 +83,34 @@ func (r *Relay) Close() error {
 	return err
 }
 
+// relayPending is one datagram awaiting its departure time.
+type relayPending struct {
+	due time.Time
+	seq uint64 // FIFO tiebreak: equal delays forward in arrival order
+	pkt []byte
+	dst *net.UDPAddr
+}
+
+type relayHeap []*relayPending
+
+func (h relayHeap) Len() int { return len(h) }
+func (h relayHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h relayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *relayHeap) Push(x any)   { *h = append(*h, x.(*relayPending)) }
+func (h *relayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
 func (r *Relay) loop() {
 	defer r.wg.Done()
 	buf := make([]byte, 65535)
@@ -86,6 +122,10 @@ func (r *Relay) loop() {
 		fromUpstream := raddr.IP.Equal(r.upstream.IP) && raddr.Port == r.upstream.Port
 
 		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
 		if !fromUpstream {
 			r.client = raddr
 		}
@@ -101,24 +141,71 @@ func (r *Relay) loop() {
 			r.dropped++
 		}
 		delay := r.Delay
-		r.mu.Unlock()
-
 		if drop || dst == nil {
+			r.mu.Unlock()
 			continue
 		}
-		pkt := append([]byte(nil), buf[:n]...)
-		if delay > 0 {
-			go func() {
-				timer := time.NewTimer(delay)
-				defer timer.Stop()
-				select {
-				case <-timer.C:
-					r.sock.WriteToUDP(pkt, dst) //nolint:errcheck // best-effort relay
-				case <-r.done:
-				}
-			}()
-		} else {
-			r.sock.WriteToUDP(pkt, dst) //nolint:errcheck // best-effort relay
+		// Every datagram — delayed or not — funnels through one ordered
+		// queue, so equal-delay packets leave in arrival order instead of
+		// racing per-packet timer goroutines.
+		r.seq++
+		heap.Push(&r.dq, &relayPending{
+			due: time.Now().Add(delay),
+			seq: r.seq,
+			pkt: append([]byte(nil), buf[:n]...),
+			dst: dst,
+		})
+		r.mu.Unlock()
+
+		select {
+		case r.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// dispatchLoop is the single writer draining the delay queue in (due,
+// arrival) order.
+func (r *Relay) dispatchLoop() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		var item *relayPending
+		wait := time.Duration(-1)
+		if len(r.dq) > 0 {
+			head := r.dq[0]
+			if d := time.Until(head.due); d <= 0 {
+				item = heap.Pop(&r.dq).(*relayPending)
+			} else {
+				wait = d
+			}
+		}
+		r.mu.Unlock()
+
+		if item != nil {
+			r.sock.WriteToUDP(item.pkt, item.dst) //nolint:errcheck // best-effort relay
+			continue
+		}
+		if wait < 0 {
+			select {
+			case <-r.kick:
+			case <-r.done:
+				return
+			}
+			continue
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-r.kick:
+			timer.Stop()
+		case <-r.done:
+			timer.Stop()
+			return
 		}
 	}
 }

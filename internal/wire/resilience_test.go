@@ -1,0 +1,345 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"marnet/internal/core"
+	"marnet/internal/faults"
+)
+
+// stateRecorder captures OnStateChange transitions thread-safely.
+type stateRecorder struct {
+	mu     sync.Mutex
+	states []State
+}
+
+func (r *stateRecorder) add(s State) {
+	r.mu.Lock()
+	r.states = append(r.states, s)
+	r.mu.Unlock()
+}
+
+func (r *stateRecorder) saw(want State) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.states {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestKeepaliveDetectsDeadPeer(t *testing.T) {
+	server, err := Listen("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec stateRecorder
+	const interval = 50 * time.Millisecond
+	client, err := Dial(server.LocalAddr().String(), Config{
+		Streams:       []StreamSpec{{ID: 1, Class: core.ClassCritical, Priority: core.PrioHighest, Rate: 1e6}},
+		Keepalive:     interval,
+		KeepaliveMiss: 3,
+		OnStateChange: rec.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Establish liveness, then kill the server: the path goes silent.
+	client.Send(1, []byte("hello")) //nolint:errcheck
+	time.Sleep(2 * interval)
+	if client.State() != StateActive {
+		t.Fatalf("state = %v before outage", client.State())
+	}
+	server.Close()
+	killed := time.Now()
+	if !waitFor(t, time.Second, func() bool { return client.State() == StateDead }) {
+		t.Fatal("dead peer never detected")
+	}
+	// The threshold is KeepaliveMiss probe intervals; allow scheduling slack.
+	if took := time.Since(killed); took > 3*interval+250*time.Millisecond {
+		t.Errorf("detection took %v, want ≈%v", took, 3*interval)
+	}
+	if !rec.saw(StateDead) {
+		t.Error("OnStateChange never reported StateDead")
+	}
+}
+
+func TestKeepalivePingsKeepIdleConnectionAlive(t *testing.T) {
+	// A peer that answers pings keeps the connection Active through a long
+	// app-level silence (no false positives).
+	server, err := Listen("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := Dial(server.LocalAddr().String(), Config{
+		Keepalive: 40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	time.Sleep(400 * time.Millisecond) // 10 probe intervals, zero app traffic
+	if client.State() != StateActive {
+		t.Errorf("state = %v after idle period with live peer", client.State())
+	}
+}
+
+func TestMuxIdleEvictionFiresOnConnClosed(t *testing.T) {
+	var rx collector
+	mux, err := ListenMux("127.0.0.1:0", func(*net.UDPAddr) Config {
+		return Config{OnMessage: rx.add}
+	}, WithIdleTimeout(120*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	var closedMu sync.Mutex
+	closedPeers := 0
+	mux.SetOnConnClosed(func(*Conn, *net.UDPAddr) {
+		closedMu.Lock()
+		closedPeers++
+		closedMu.Unlock()
+	})
+
+	client, err := Dial(mux.LocalAddr().String(), Config{
+		Streams:     []StreamSpec{{ID: 1, Class: core.ClassCritical, Priority: core.PrioHighest, Rate: 1e6}},
+		StartBudget: 5e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Send(1, []byte("hi")) //nolint:errcheck
+	if !waitFor(t, 2*time.Second, func() bool { return len(mux.Conns()) == 1 }) {
+		t.Fatal("peer never accepted")
+	}
+	// Client goes silent (no keepalive): the mux must evict it.
+	if !waitFor(t, 2*time.Second, func() bool { return len(mux.Conns()) == 0 }) {
+		t.Fatal("idle peer never evicted")
+	}
+	closedMu.Lock()
+	n := closedPeers
+	closedMu.Unlock()
+	if n != 1 {
+		t.Errorf("OnConnClosed fired %d times, want 1", n)
+	}
+	mux.mu.Lock()
+	evicted := mux.Evicted
+	mux.mu.Unlock()
+	if evicted != 1 {
+		t.Errorf("Evicted = %d, want 1", evicted)
+	}
+}
+
+func TestSessionResumesThroughBlackholePreservingSeqs(t *testing.T) {
+	// Server behind a mux, client behind a chaos relay. The relay's address
+	// is the peer the server sees, so its per-peer receive state (the dup
+	// filter) SURVIVES the client's re-dial — only sequence preservation
+	// keeps resumed traffic from being swallowed as duplicates.
+	var rx collector
+	mux, err := ListenMux("127.0.0.1:0", func(*net.UDPAddr) Config {
+		return Config{OnMessage: rx.add}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+
+	relay, err := faults.NewRelay(mux.LocalAddr().String(), faults.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	var rec stateRecorder
+	sess, err := DialSession(relay.Addr(), Config{
+		Streams:     []StreamSpec{{ID: 1, Class: core.ClassCritical, Priority: core.PrioHighest, Rate: 2e6}},
+		StartBudget: 5e6,
+		Keepalive:   40 * time.Millisecond,
+	}, SessionConfig{
+		RedialMin:     20 * time.Millisecond,
+		Seed:          9,
+		OnStateChange: rec.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	sendAll := func(from, to int) {
+		for i := from; i < to; i++ {
+			payload := []byte{byte(i)}
+			if !waitFor(t, 2*time.Second, func() bool {
+				ok, err := sess.Send(1, payload)
+				return err == nil && ok
+			}) {
+				t.Fatalf("message %d never admitted", i)
+			}
+		}
+	}
+
+	sendAll(0, 10)
+	if !waitFor(t, 3*time.Second, func() bool { return rx.count() >= 10 }) {
+		t.Fatalf("pre-outage: received %d/10", rx.count())
+	}
+
+	relay.SetBlackhole(faults.Both, true)
+	if !waitFor(t, 2*time.Second, func() bool { return sess.Reconnects() >= 1 }) {
+		t.Fatal("session never resumed during blackhole")
+	}
+	relay.SetBlackhole(faults.Both, false)
+
+	sendAll(10, 20)
+	// If resumption had restarted sequences at 0, the server-side dup filter
+	// would swallow every post-outage message and this would stall at 10.
+	if !waitFor(t, 3*time.Second, func() bool { return rx.count() >= 20 }) {
+		t.Fatalf("post-outage: received %d/20 (resumed seqs swallowed?)", rx.count())
+	}
+	seen := map[int64]bool{}
+	rx.mu.Lock()
+	for _, m := range rx.msgs {
+		if seen[m.Seq] {
+			t.Errorf("duplicate seq %d delivered to the app", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+	maxSeq := int64(-1)
+	for s := range seen {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	rx.mu.Unlock()
+	if maxSeq != 19 {
+		t.Errorf("max delivered seq = %d, want 19 (sequence space preserved)", maxSeq)
+	}
+	if !waitFor(t, time.Second, func() bool { return sess.State() == StateActive }) {
+		t.Errorf("final session state = %v, want active", sess.State())
+	}
+	if !rec.saw(StateDead) || !rec.saw(StateActive) {
+		t.Error("session state observer missed the Dead/Active transitions")
+	}
+}
+
+// TestBitFlipNeverAuthenticates is the satellite property test: ANY single
+// bit flip anywhere in a sealed frame — header, nonce, ciphertext, tag,
+// even the length field — must be rejected at parse or at open, never
+// delivered and never a panic. Exhaustive over every bit.
+func TestBitFlipNeverAuthenticates(t *testing.T) {
+	key := bytes.Repeat([]byte{9}, 16)
+	sl, err := newSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Header{
+		Type: TypeData, Stream: 3, Class: uint8(core.ClassCritical),
+		Prio: uint8(core.PrioHighest), Seq: 42, SendMicro: 123456,
+	}
+	payload := []byte("pose estimate for frame 42")
+	sealed, err := sl.seal(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := AppendFrame(nil, h, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the unmodified frame decodes and opens.
+	hdr, body, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain, err := sl.open(hdr, body); err != nil || !bytes.Equal(plain, payload) {
+		t.Fatalf("pristine frame failed to open: %v", err)
+	}
+
+	parseRejects, authRejects := 0, 0
+	for bit := 0; bit < len(frame)*8; bit++ {
+		mut := append([]byte(nil), frame...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		mhdr, mbody, err := DecodeFrame(mut)
+		if err != nil {
+			parseRejects++
+			continue
+		}
+		if _, err := sl.open(mhdr, mbody); err == nil {
+			t.Fatalf("bit flip %d authenticated and decrypted", bit)
+		}
+		authRejects++
+	}
+	if parseRejects == 0 || authRejects == 0 {
+		t.Errorf("degenerate coverage: parse=%d auth=%d rejects", parseRejects, authRejects)
+	}
+}
+
+func TestCorruptionDroppedAndCountedEndToEnd(t *testing.T) {
+	// A relay flipping bits in flight: sealed connections must drop every
+	// corrupted frame (counted as auth failures), recover via retransmission
+	// and deliver each payload exactly once.
+	key := bytes.Repeat([]byte{4}, 16)
+	var rx collector
+	server, err := Listen("127.0.0.1:0", Config{Key: key, OnMessage: rx.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	relay, err := faults.NewRelay(server.LocalAddr().String(), faults.Config{
+		Seed: 11,
+		Up:   faults.DirConfig{Corrupt: 0.25},
+		Down: faults.DirConfig{Corrupt: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+
+	client, err := Dial(relay.Addr(), Config{
+		Streams:     []StreamSpec{{ID: 1, Class: core.ClassCritical, Priority: core.PrioHighest, Rate: 2e6}},
+		StartBudget: 5e6,
+		Key:         key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		if _, err := client.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitFor(t, 8*time.Second, func() bool { return rx.count() >= n }) {
+		t.Fatalf("received %d/%d through corrupting relay", rx.count(), n)
+	}
+	if c := relay.Counters(faults.Both); c.Corrupted == 0 {
+		t.Error("relay corrupted nothing — test is vacuous")
+	}
+	if server.AuthFailureCount()+client.AuthFailureCount() == 0 {
+		t.Error("no auth failures despite bit flips (corruption reached the app?)")
+	}
+	seen := map[byte]bool{}
+	rx.mu.Lock()
+	for _, m := range rx.msgs {
+		b := m.Payload[0]
+		if seen[b] {
+			t.Errorf("payload %d delivered twice", b)
+		}
+		seen[b] = true
+	}
+	rx.mu.Unlock()
+	if len(seen) != n {
+		t.Errorf("distinct payloads = %d, want %d", len(seen), n)
+	}
+}

@@ -1,0 +1,281 @@
+package wire
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// SessionConfig tunes automatic session resumption.
+type SessionConfig struct {
+	// RedialMin/RedialMax bound the exponential re-dial backoff
+	// (defaults 50 ms / 1 s).
+	RedialMin time.Duration
+	RedialMax time.Duration
+	// Seed drives the backoff jitter, keeping chaos runs reproducible.
+	Seed int64
+	// OnStateChange observes the session's liveness: StateDead when an
+	// outage is detected (a re-dial starts immediately), StateActive when
+	// the path recovers, StateClosed when Close is called. Internal re-dial
+	// churn is not forwarded.
+	OnStateChange func(State)
+}
+
+// Session is a client-side connection that survives outages: it watches
+// the underlying Conn's keepalive verdict and, on death, re-dials and
+// re-establishes its streams while preserving app-level sequence numbers —
+// so a server that kept per-peer receive state across the outage does not
+// mistake resumed traffic for duplicates. This is the paper's graceful-
+// degradation doctrine applied to the session itself: an outage costs
+// in-flight frames, never the session.
+type Session struct {
+	addr string
+	base Config
+	scfg SessionConfig
+
+	mu         sync.Mutex
+	conn       *Conn
+	gen        int
+	closed     bool
+	down       bool // true from outage detection until liveness is confirmed
+	reconnects int64
+	rng        *rand.Rand
+
+	done chan struct{}
+}
+
+// DialSession dials addr with automatic resumption. cfg.Keepalive is the
+// outage detector; if unset it defaults to 250 ms (KeepaliveMiss defaults
+// to 3, so a dead path is declared within ~750 ms). cfg.OnStateChange is
+// reserved for the session's own use — observe via scfg.OnStateChange.
+func DialSession(addr string, cfg Config, scfg SessionConfig) (*Session, error) {
+	if cfg.Keepalive <= 0 {
+		cfg.Keepalive = 250 * time.Millisecond
+	}
+	if scfg.RedialMin <= 0 {
+		scfg.RedialMin = 50 * time.Millisecond
+	}
+	if scfg.RedialMax <= 0 {
+		scfg.RedialMax = time.Second
+	}
+	s := &Session{
+		addr: addr,
+		base: cfg,
+		scfg: scfg,
+		rng:  rand.New(rand.NewSource(scfg.Seed)),
+		done: make(chan struct{}),
+	}
+	conn, err := Dial(addr, s.cfgFor(0))
+	if err != nil {
+		return nil, err
+	}
+	s.conn = conn
+	return s, nil
+}
+
+// cfgFor binds the connection callbacks to generation gen so events from
+// superseded connections cannot trigger spurious resumptions.
+func (s *Session) cfgFor(gen int) Config {
+	cfg := s.base
+	cfg.OnStateChange = func(st State) {
+		if st != StateActive && st != StateDead {
+			return // internal closes are session bookkeeping
+		}
+		s.mu.Lock()
+		if gen != s.gen || s.closed {
+			s.mu.Unlock()
+			return
+		}
+		// Collapse per-connection churn into session-level edges: one Dead
+		// per outage, one Active per recovery.
+		var notify bool
+		if st == StateDead {
+			notify = !s.down
+			s.down = true
+		} else {
+			notify = s.down
+			s.down = false
+		}
+		cb := s.scfg.OnStateChange
+		s.mu.Unlock()
+		if notify && cb != nil {
+			cb(st)
+		}
+		if st == StateDead {
+			go s.resume(gen)
+		}
+	}
+	return cfg
+}
+
+// confirmRecovery watches a freshly resumed connection for evidence the
+// peer is actually reachable again (a re-dial succeeds even into a
+// blackhole — UDP has no handshake) and fires the session's StateActive
+// edge once a frame arrives.
+func (s *Session) confirmRecovery(conn *Conn, gen int, since time.Time) {
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		if gen != s.gen || s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		if !conn.LastActivity().After(since) {
+			continue
+		}
+		s.mu.Lock()
+		notify := s.down
+		s.down = false
+		cb := s.scfg.OnStateChange
+		s.mu.Unlock()
+		if notify && cb != nil {
+			cb(StateActive)
+		}
+		return
+	}
+}
+
+// resume replaces a dead connection, carrying forward stream sequence
+// numbers, with seeded-jitter exponential backoff between attempts.
+func (s *Session) resume(gen int) {
+	s.mu.Lock()
+	if s.closed || gen != s.gen {
+		s.mu.Unlock()
+		return
+	}
+	s.gen++
+	newGen := s.gen
+	old := s.conn
+	s.mu.Unlock()
+
+	seqs := old.streamSeqs()
+	old.Close() //nolint:errcheck // superseded connection
+
+	backoff := s.scfg.RedialMin
+	for {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		conn, err := Dial(s.addr, s.cfgFor(newGen))
+		if err == nil {
+			conn.setStreamSeqs(seqs)
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close() //nolint:errcheck // racing shutdown
+				return
+			}
+			s.conn = conn
+			s.reconnects++
+			installed := time.Now()
+			s.mu.Unlock()
+			go s.confirmRecovery(conn, newGen, installed)
+			return
+		}
+		s.mu.Lock()
+		sleep := backoff/2 + time.Duration(s.rng.Int63n(int64(backoff/2)+1))
+		s.mu.Unlock()
+		timer := time.NewTimer(sleep)
+		select {
+		case <-timer.C:
+		case <-s.done:
+			timer.Stop()
+			return
+		}
+		if backoff *= 2; backoff > s.scfg.RedialMax {
+			backoff = s.scfg.RedialMax
+		}
+	}
+}
+
+// current returns the live connection.
+func (s *Session) current() (*Conn, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn, !s.closed
+}
+
+// Send submits a datagram on a stream of the current connection. During an
+// outage window (the instant between a connection dying and its
+// replacement being installed) the send is reported as shed rather than
+// failing the session.
+func (s *Session) Send(streamID uint16, payload []byte) (bool, error) {
+	conn, open := s.current()
+	if !open {
+		return false, ErrClosed
+	}
+	ok, err := conn.Send(streamID, payload)
+	if err == ErrClosed {
+		if _, stillOpen := s.current(); stillOpen {
+			return false, nil // mid-resume: degrade to shed
+		}
+	}
+	return ok, err
+}
+
+// Conn exposes the current underlying connection (for stats and address
+// queries; it may be superseded at any moment).
+func (s *Session) Conn() *Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn
+}
+
+// State reports the session's liveness: Dead from outage detection until
+// the resumed path demonstrably carries frames again.
+func (s *Session) State() State {
+	s.mu.Lock()
+	conn, closed, down := s.conn, s.closed, s.down
+	s.mu.Unlock()
+	if closed {
+		return StateClosed
+	}
+	if down {
+		return StateDead
+	}
+	return conn.State()
+}
+
+// Stats returns the current connection's stream stats. Counters restart
+// from zero after a resumption (sequence numbers do not).
+func (s *Session) Stats(streamID uint16) StreamStats {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	return conn.Stats(streamID)
+}
+
+// Reconnects reports how many times the session resumed.
+func (s *Session) Reconnects() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconnects
+}
+
+// Close shuts the session down permanently.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conn := s.conn
+	close(s.done)
+	s.mu.Unlock()
+	err := conn.Close()
+	if cb := s.scfg.OnStateChange; cb != nil {
+		cb(StateClosed)
+	}
+	return err
+}
