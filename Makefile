@@ -2,13 +2,16 @@ GO ?= go
 
 # Packages with real concurrency (goroutines + sockets) that must stay
 # race-clean; the rest of the tree is a single-threaded simulator.
-RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/...
+RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/...
 
-.PHONY: all ci vet build test race chaos clean
+# Per-fuzzer budget for the smoke pass wired into ci.
+FUZZTIME ?= 10s
+
+.PHONY: all ci vet build test race chaos overload fuzz clean
 
 all: ci
 
-ci: vet build test race
+ci: vet build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +28,17 @@ race:
 # The full chaos acceptance storm (skipped under -short), race-checked.
 chaos:
 	$(GO) test -race -run TestChaosStormSuite -v ./internal/rpc/
+
+# The overload acceptance storm: 4x over-capacity shedding plus the
+# drain-and-failover pass (skipped under -short), race-checked.
+overload:
+	$(GO) test -race -run 'TestOverloadStorm|TestOverloadDrain' -v ./internal/rpc/
+
+# Short coverage-guided smoke over the wire-format decoders. Go runs one
+# fuzz target per invocation, so each gets its own budget.
+fuzz:
+	$(GO) test -fuzz FuzzHeaderDecode -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzNackDecode -fuzztime $(FUZZTIME) ./internal/wire/
 
 clean:
 	$(GO) clean ./...

@@ -96,6 +96,25 @@ func (p Priority) Discardable() bool {
 // first).
 func (p Priority) Band() int { return int(p) - 1 }
 
+// AdmissionTiers is the number of server-side admission tiers: one per ARTP
+// priority level. A server protecting itself from overload (package
+// overload) queues and sheds by the same four classes the transport uses
+// for graceful degradation — the serving path and the sending path degrade
+// along the same axis.
+const AdmissionTiers = 4
+
+// AdmissionTier maps the priority to a server admission tier (0 = most
+// protected, AdmissionTiers-1 = shed first). Out-of-range values — e.g. a
+// zero Priority from a peer that predates priority propagation — land in
+// the lowest tier rather than the most protected one.
+func (p Priority) AdmissionTier() int {
+	t := int(p) - 1
+	if t < 0 || t >= AdmissionTiers {
+		return AdmissionTiers - 1
+	}
+	return t
+}
+
 // Packet kinds carried in simnet.Packet.Kind.
 const (
 	KindData = 10

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMultipathChurnNeverStarves flaps paths administratively down and up
+// in a seeded pattern while Pick is called continuously: as long as at
+// least one path is up, Pick must return a non-empty path set for every
+// traffic class — handover churn must never silence the sender.
+func TestMultipathChurnNeverStarves(t *testing.T) {
+	wifi := &Path{ID: 1, Weight: 2}
+	lte := &Path{ID: 2, Weight: 1}
+	m := NewMultipath(wifi, lte)
+	m.DownAfter = 100 * time.Millisecond
+
+	rng := rand.New(rand.NewSource(7))
+	kinds := []struct {
+		prio  Priority
+		class Class
+	}{
+		{PrioHighest, ClassCritical},
+		{PrioHighest, ClassLossRecovery},
+		{PrioNoDelay, ClassFullBestEffort},
+		{PrioLowest, ClassFullBestEffort},
+	}
+	now := time.Duration(0)
+	for step := 0; step < 5000; step++ {
+		now += time.Millisecond
+		// Flap one of the paths; never both down at once.
+		switch rng.Intn(4) {
+		case 0:
+			wifi.SetDown(true)
+			lte.SetDown(false)
+		case 1:
+			lte.SetDown(true)
+			wifi.SetDown(false)
+		case 2:
+			wifi.SetDown(false)
+			lte.SetDown(false)
+		case 3:
+			// Leave as is.
+		}
+		// Keep the scheduler fed with acks now and then so RTT state and
+		// outstanding accounting churn too.
+		if step%7 == 0 {
+			up := wifi
+			if wifi.forcedDown {
+				up = lte
+			}
+			up.outstanding++
+			up.onAck(now, 20*time.Millisecond)
+		}
+		k := kinds[step%len(kinds)]
+		got := m.Pick(now, k.prio, k.class, 1200)
+		if len(got) == 0 {
+			t.Fatalf("step %d: Pick returned no path with wifi.down=%v lte.down=%v",
+				step, wifi.forcedDown, lte.forcedDown)
+		}
+		for _, p := range got {
+			if p.forcedDown {
+				t.Fatalf("step %d: Pick chose an administratively-down path %d", step, p.ID)
+			}
+		}
+	}
+}
+
+// TestMultipathFailsOverWithinProbeInterval: a path that goes silent with
+// data outstanding must be abandoned within one DownAfter interval — the
+// next Pick after the silence threshold lands on the backup.
+func TestMultipathFailsOverWithinProbeInterval(t *testing.T) {
+	wifi := &Path{ID: 1}
+	lte := &Path{ID: 2}
+	m := NewMultipath(wifi, lte)
+	m.DownAfter = 100 * time.Millisecond
+
+	// Healthy traffic on wifi until t=50ms.
+	now := 50 * time.Millisecond
+	wifi.outstanding++
+	wifi.onAck(now, 10*time.Millisecond)
+	if got := m.Pick(now, PrioNoDelay, ClassFullBestEffort, 1200); len(got) != 1 || got[0] != wifi {
+		t.Fatalf("healthy pick = %v, want wifi", got)
+	}
+
+	// Wifi goes silent with packets in flight.
+	for i := 0; i < 5; i++ {
+		wifi.outstanding++
+	}
+	lastAck := now
+	for now = lastAck; now <= lastAck+m.DownAfter+time.Millisecond; now += 10 * time.Millisecond {
+		got := m.Pick(now, PrioNoDelay, ClassFullBestEffort, 1200)
+		if len(got) == 0 {
+			t.Fatalf("no path at t=%v", now)
+		}
+		if now-lastAck >= m.DownAfter && got[0] != lte {
+			t.Fatalf("t=%v (silence %v >= DownAfter %v): still picking path %d",
+				now, now-lastAck, m.DownAfter, got[0].ID)
+		}
+	}
+
+	// And once the dead path acks again (e.g. the probe got through), it
+	// becomes eligible immediately.
+	wifi.onAck(now, 10*time.Millisecond)
+	wifi.outstanding = 0
+	if got := m.Pick(now, PrioNoDelay, ClassFullBestEffort, 1200); len(got) != 1 || got[0] != wifi {
+		t.Fatalf("recovered pick = %v, want wifi again", got)
+	}
+}

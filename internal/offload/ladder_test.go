@@ -1,0 +1,88 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/overload"
+)
+
+// TestLadderDegradesUnderBacklog drives a serialized surrogate past its
+// compute capacity and checks the degradation ladder: full recognition
+// gives way to features-only and cached answers as the backlog grows, the
+// books balance, and the client sees its answers marked degraded.
+func TestLadderDegradesUnderBacklog(t *testing.T) {
+	// Full recognition costs 240 ms on this surrogate while frames arrive
+	// every 33 ms: without the ladder the backlog would grow without
+	// bound; with it the surrogate slides down the rungs instead.
+	r := newRig(t, 20e6, 20e6, 5*time.Millisecond, 5e7)
+	r.server.Ladder = overload.Ladder{
+		DegradeAt: 100 * time.Millisecond,
+		CacheAt:   400 * time.Millisecond,
+	}
+	c := r.addClient(t, StandardPipelines()[1], 1, 1e9, 30)
+	c.Run(3 * time.Second)
+	if err := r.sim.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	s := r.server
+	if s.ServedFull == 0 || s.ServedFeatures == 0 || s.ServedCached == 0 {
+		t.Fatalf("ladder never walked its rungs: full=%d features=%d cached=%d",
+			s.ServedFull, s.ServedFeatures, s.ServedCached)
+	}
+	if got := s.ServedFull + s.ServedFeatures + s.ServedCached + s.Rejected; got != s.Requests {
+		t.Fatalf("requests unaccounted: %d served/rejected of %d", got, s.Requests)
+	}
+	if c.Degraded == 0 {
+		t.Fatal("client never saw a degraded answer")
+	}
+	if c.Degraded != s.ServedFeatures+s.ServedCached {
+		t.Errorf("client degraded=%d, server degraded serves=%d",
+			c.Degraded, s.ServedFeatures+s.ServedCached)
+	}
+}
+
+// TestLadderRejectsImmediately: with the reject rung at a hair above zero
+// backlog, every frame behind the first is refused by a tiny packet — the
+// client learns instantly and keeps no frame pending.
+func TestLadderRejectsImmediately(t *testing.T) {
+	r := newRig(t, 20e6, 20e6, 5*time.Millisecond, 5e7)
+	r.server.Ladder = overload.Ladder{RejectAt: time.Millisecond}
+	c := r.addClient(t, StandardPipelines()[1], 1, 1e9, 30)
+	c.Run(2 * time.Second)
+	if err := r.sim.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.server.Rejected == 0 {
+		t.Fatal("surrogate never rejected despite a saturated core")
+	}
+	if c.Rejected != r.server.Rejected {
+		t.Errorf("client rejected=%d, server rejected=%d", c.Rejected, r.server.Rejected)
+	}
+	if c.PendingFrames() != 0 {
+		t.Errorf("%d frames left pending; rejects must settle them", c.PendingFrames())
+	}
+}
+
+// TestZeroLadderKeepsLegacyBehaviour: no ladder, no serialization — the
+// surrogate serves everything at full fidelity, nothing is rejected, and
+// no answer is marked degraded.
+func TestZeroLadderKeepsLegacyBehaviour(t *testing.T) {
+	r := newRig(t, 20e6, 20e6, 5*time.Millisecond, 5e7)
+	c := r.addClient(t, StandardPipelines()[1], 1, 1e9, 30)
+	c.Run(2 * time.Second)
+	if err := r.sim.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.server.ServedFeatures != 0 || r.server.ServedCached != 0 || r.server.Rejected != 0 {
+		t.Errorf("zero ladder degraded: %+v", r.server)
+	}
+	if c.Degraded != 0 || c.Rejected != 0 {
+		t.Errorf("client saw degradation without a ladder: degraded=%d rejected=%d",
+			c.Degraded, c.Rejected)
+	}
+	if r.server.ServedFull != r.server.Requests {
+		t.Errorf("full serves %d != requests %d", r.server.ServedFull, r.server.Requests)
+	}
+}

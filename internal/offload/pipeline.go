@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"marnet/internal/overload"
 	"marnet/internal/simnet"
 	"marnet/internal/trace"
 )
@@ -28,6 +29,10 @@ const (
 	KindResponse = 21
 	KindPing     = 22
 	KindPong     = 23
+	// KindReject is the surrogate's immediate refusal under overload: a
+	// tiny packet the client converts into local degradation (reuse the
+	// previous pose) instead of a timeout.
+	KindReject = 24
 )
 
 const chunkBytes = 1400
@@ -92,6 +97,9 @@ type reqChunk struct {
 type respChunk struct {
 	Frame int64
 	Last  bool
+	// Tier records the fidelity the surrogate served (zero = legacy
+	// servers that never degrade = TierFull).
+	Tier overload.Tier
 }
 
 // ClientConfig wires a Client into a topology.
@@ -124,7 +132,12 @@ type Client struct {
 	DownBytes    int64
 	LocalFrames  int64
 	Offloaded    int64
-	start        map[int64]time.Duration
+	// Degraded counts frames answered below full fidelity; Rejected counts
+	// frames the surrogate refused outright (the client degrades locally —
+	// neither a deadline hit nor a pending loss).
+	Degraded int64
+	Rejected int64
+	start    map[int64]time.Duration
 }
 
 // NewClient builds a client for the pipeline.
@@ -206,8 +219,19 @@ func (c *Client) sendRequest(frame int64) {
 	}
 }
 
-// Handle consumes response chunks.
+// Handle consumes response chunks (and overload rejections).
 func (c *Client) Handle(pkt *simnet.Packet) {
+	if pkt.Kind == KindReject {
+		resp, ok := pkt.Payload.(respChunk)
+		if !ok {
+			return
+		}
+		if _, pending := c.start[resp.Frame]; pending {
+			delete(c.start, resp.Frame)
+			c.Rejected++
+		}
+		return
+	}
 	if pkt.Kind != KindResponse {
 		return
 	}
@@ -224,6 +248,9 @@ func (c *Client) Handle(pkt *simnet.Packet) {
 		return
 	}
 	delete(c.start, resp.Frame)
+	if resp.Tier == overload.TierFeatures || resp.Tier == overload.TierCached {
+		c.Degraded++
+	}
 	c.finish(t0)
 }
 
@@ -244,6 +271,13 @@ func (c *Client) PendingFrames() int { return len(c.start) }
 // Server is the offloading surrogate: it reassembles requests, spends the
 // remote compute time (modelling a surrogate with ServerOps capacity) and
 // returns the result.
+//
+// With a Ladder configured the surrogate protects itself: its compute
+// backlog (how long a newly arrived frame would wait for the core) drives
+// the degradation tier — full recognition, features-only (a quarter of the
+// cost), cached pose (free), or an immediate reject packet. A ladder
+// implies serialized compute: backlog only means something when frames
+// share the core instead of running in unlimited parallel.
 type Server struct {
 	sim  *simnet.Sim
 	addr simnet.Addr
@@ -251,9 +285,21 @@ type Server struct {
 	ServerOps float64
 	// Downlink returns packets toward a client address.
 	Downlink func(client simnet.Addr) simnet.Handler
+	// Ladder degrades answers as the compute backlog grows; the zero
+	// ladder always serves full fidelity.
+	Ladder overload.Ladder
+	// Serialize runs frames one at a time on the surrogate core even
+	// without a ladder (legacy default: unlimited parallelism).
+	Serialize bool
 
-	rx       map[string]int
-	Requests int64
+	rx        map[string]int
+	busyUntil time.Duration
+	Requests  int64
+	// Per-tier serve counters plus outright rejections.
+	ServedFull     int64
+	ServedFeatures int64
+	ServedCached   int64
+	Rejected       int64
 }
 
 // NewServer builds a surrogate.
@@ -286,14 +332,61 @@ func (s *Server) Handle(pkt *simnet.Packet) {
 		return
 	}
 	s.Requests++
+	now := s.sim.Now()
+	tier := overload.TierFull
+	if s.Ladder.Enabled() {
+		backlog := s.busyUntil - now
+		if backlog < 0 {
+			backlog = 0
+		}
+		tier = s.Ladder.Tier(backlog)
+	}
+	ops := req.RemoteOps
+	switch tier {
+	case overload.TierReject:
+		s.Rejected++
+		s.reject(req)
+		return
+	case overload.TierFeatures:
+		ops /= 4
+		s.ServedFeatures++
+	case overload.TierCached:
+		ops = 0
+		s.ServedCached++
+	default:
+		s.ServedFull++
+	}
 	compute := time.Duration(0)
 	if s.ServerOps > 0 {
-		compute = time.Duration(req.RemoteOps / s.ServerOps * float64(time.Second))
+		compute = time.Duration(ops / s.ServerOps * float64(time.Second))
 	}
-	s.sim.Schedule(compute, func() { s.respond(req) })
+	wait := compute
+	if s.Serialize || s.Ladder.Enabled() {
+		start := s.busyUntil
+		if start < now {
+			start = now
+		}
+		s.busyUntil = start + compute
+		wait = s.busyUntil - now
+	}
+	s.sim.Schedule(wait, func() { s.respond(req, tier) })
 }
 
-func (s *Server) respond(req reqChunk) {
+// reject answers a frame with an immediate refusal packet.
+func (s *Server) reject(req reqChunk) {
+	pkt := &simnet.Packet{
+		ID:      s.sim.NextPacketID(),
+		Src:     s.addr,
+		Dst:     req.Client,
+		Size:    40,
+		Kind:    KindReject,
+		Created: s.sim.Now(),
+		Payload: respChunk{Frame: req.Frame, Last: true, Tier: overload.TierReject},
+	}
+	s.Downlink(req.Client).Handle(pkt)
+}
+
+func (s *Server) respond(req reqChunk, tier overload.Tier) {
 	out := s.Downlink(req.Client)
 	remaining := req.RespBytes
 	if remaining <= 0 {
@@ -312,7 +405,7 @@ func (s *Server) respond(req reqChunk) {
 			Size:    n,
 			Kind:    KindResponse,
 			Created: s.sim.Now(),
-			Payload: respChunk{Frame: req.Frame, Last: remaining == 0},
+			Payload: respChunk{Frame: req.Frame, Last: remaining == 0, Tier: tier},
 		}
 		out.Handle(pkt)
 	}

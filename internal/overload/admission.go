@@ -1,0 +1,351 @@
+package overload
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Item is one unit of admitted work moving through the admission queues.
+type Item struct {
+	// Tier is the admission tier (0 = most protected; see
+	// core.Priority.AdmissionTier).
+	Tier int
+	// Method keys the service-time estimate for cannot-finish checks.
+	Method uint8
+	// Deadline is the absolute point after which the work is useless
+	// (zero = none): arrival time plus the client's propagated budget.
+	Deadline time.Time
+	// Enqueued is stamped at admission; sojourn = now - Enqueued.
+	Enqueued time.Time
+	// Degrade is the response tier the gate selected at dispatch
+	// (TierFull unless the ladder is active).
+	Degrade Tier
+	// Job is the caller's payload (e.g. the decoded request and the conn
+	// to answer on).
+	Job any
+}
+
+// AdmissionConfig tunes the per-tier bounded queues and the CoDel-style
+// queue-delay shedder.
+type AdmissionConfig struct {
+	// Tiers is the number of priority tiers (default core.AdmissionTiers=4;
+	// kept as a plain int so the package stays dependency-free).
+	Tiers int
+	// QueueCap bounds each tier's queue (default 128). The cap is the
+	// hard backstop; CoDel shedding acts long before it fills.
+	QueueCap int
+	// Target is the acceptable standing queue delay (default 5 ms, as in
+	// RFC 8289); sojourns above it for a full Interval trigger shedding.
+	Target time.Duration
+	// Interval is the sliding-minimum window width (default 100 ms).
+	Interval time.Duration
+	// ProtectTiers is how many of the top tiers are exempt from CoDel
+	// shedding (default 1: tier 0 — PrioHighest — is only ever tail-capped,
+	// mirroring "never discarded" in the transport).
+	ProtectTiers int
+	// Clock is the time source (default time.Now).
+	Clock func() time.Time
+}
+
+func (c *AdmissionConfig) defaults() {
+	if c.Tiers <= 0 {
+		c.Tiers = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 128
+	}
+	if c.Target <= 0 {
+		c.Target = 5 * time.Millisecond
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.ProtectTiers <= 0 {
+		c.ProtectTiers = 1
+	}
+	if c.ProtectTiers > c.Tiers {
+		c.ProtectTiers = c.Tiers
+	}
+	c.Clock = clockOrNow(c.Clock)
+}
+
+// AdmissionStats is a snapshot of the queue counters. Slices are indexed
+// by tier.
+type AdmissionStats struct {
+	Offered    []int64 // Offer calls per tier
+	Admitted   []int64 // offers that entered a queue
+	TailDrop   []int64 // offers refused because the tier queue was full
+	CoDelShed  []int64 // queued items shed by the queue-delay controller
+	Dispatched []int64 // items handed to workers by Pop
+}
+
+// Admission is the tiered admission queue: bounded FIFO per tier, strict
+// highest-tier-first dispatch, and a CoDel-style controller that watches
+// the sojourn time of dispatched work and sheds queued items — always from
+// the lowest unprotected tier — when the queue delay stays above Target
+// for a full Interval. This is the ARTP twist on RFC 8289: the signal is
+// classic CoDel, but the drop falls on the traffic the priority model says
+// is expendable, not on the head of the line.
+type Admission struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cfg  AdmissionConfig
+
+	tiers  [][]*Item
+	closed bool
+
+	// CoDel state, mirroring internal/queue/codel.go.
+	firstAbove time.Time
+	dropNext   time.Time
+	count      int
+	lastCount  int
+	dropping   bool
+
+	// delayEWMA tracks the sojourn of dispatched items; the gate reads it
+	// as the load signal for the ladder and the health probe. delayTier
+	// tracks the same signal per tier: a high-priority request jumps the
+	// queues, so its expected wait is its own tier's recent sojourn, not
+	// the global mix.
+	delayEWMA time.Duration
+	delayTier []time.Duration
+
+	offered, admitted, tailDrop, codelShed, dispatched []int64
+}
+
+// NewAdmission builds the queues.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	cfg.defaults()
+	a := &Admission{
+		cfg:        cfg,
+		tiers:      make([][]*Item, cfg.Tiers),
+		delayTier:  make([]time.Duration, cfg.Tiers),
+		offered:    make([]int64, cfg.Tiers),
+		admitted:   make([]int64, cfg.Tiers),
+		tailDrop:   make([]int64, cfg.Tiers),
+		codelShed:  make([]int64, cfg.Tiers),
+		dispatched: make([]int64, cfg.Tiers),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Offer submits an item for admission. It returns false when the item's
+// tier queue is at capacity (or the queues are closed); the item is
+// stamped and queued otherwise.
+func (a *Admission) Offer(it *Item) bool {
+	tier := it.Tier
+	if tier < 0 {
+		tier = 0
+	}
+	if tier >= a.cfg.Tiers {
+		tier = a.cfg.Tiers - 1
+	}
+	it.Tier = tier
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.offered[tier]++
+	if a.closed || len(a.tiers[tier]) >= a.cfg.QueueCap {
+		a.tailDrop[tier]++
+		return false
+	}
+	it.Enqueued = a.cfg.Clock()
+	if it.Degrade == 0 {
+		it.Degrade = TierFull
+	}
+	a.tiers[tier] = append(a.tiers[tier], it)
+	a.admitted[tier]++
+	a.cond.Signal()
+	return true
+}
+
+// Pop blocks until work is available (or the queues close: ok=false). It
+// returns the next item in strict tier order plus any items the CoDel
+// controller shed while the caller was away — the caller owes each shed
+// item a rejection answer, so sheds surface to clients immediately instead
+// of as silence.
+func (a *Admission) Pop() (it *Item, shed []*Item, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if it := a.popLocked(); it != nil {
+			now := a.cfg.Clock()
+			shed = a.codelLocked(it, now)
+			a.dispatched[it.Tier]++
+			a.observeDelayLocked(it.Tier, now.Sub(it.Enqueued))
+			return it, shed, true
+		}
+		if a.closed {
+			return nil, nil, false
+		}
+		a.cond.Wait()
+	}
+}
+
+// TryPop is Pop without blocking; ok is false when no work is queued.
+func (a *Admission) TryPop() (it *Item, shed []*Item, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if it := a.popLocked(); it != nil {
+		now := a.cfg.Clock()
+		shed = a.codelLocked(it, now)
+		a.dispatched[it.Tier]++
+		a.observeDelayLocked(it.Tier, now.Sub(it.Enqueued))
+		return it, shed, true
+	}
+	return nil, nil, false
+}
+
+func (a *Admission) popLocked() *Item {
+	for t := 0; t < a.cfg.Tiers; t++ {
+		if q := a.tiers[t]; len(q) > 0 {
+			it := q[0]
+			q[0] = nil
+			a.tiers[t] = q[1:]
+			return it
+		}
+	}
+	return nil
+}
+
+// codelLocked runs the queue-delay controller against the sojourn of the
+// item being dispatched and returns the queued items it shed.
+func (a *Admission) codelLocked(head *Item, now time.Time) []*Item {
+	sojourn := now.Sub(head.Enqueued)
+	if sojourn < a.cfg.Target || a.depthLocked() == 0 {
+		// Delay at its floor (or nothing left queued behind the head):
+		// leave the dropping state.
+		a.firstAbove = time.Time{}
+		a.dropping = false
+		return nil
+	}
+	if a.firstAbove.IsZero() {
+		a.firstAbove = now.Add(a.cfg.Interval)
+		return nil
+	}
+	if now.Before(a.firstAbove) {
+		return nil
+	}
+	var shed []*Item
+	if !a.dropping {
+		a.dropping = true
+		// Resume the drop cadence if shedding stopped only recently
+		// (RFC 8289 §5.4).
+		if a.count > a.lastCount+1 && now.Sub(a.dropNext) < 16*a.cfg.Interval {
+			a.count -= a.lastCount
+		} else {
+			a.count = 1
+		}
+		a.lastCount = a.count
+		if s := a.shedLowestLocked(); s != nil {
+			shed = append(shed, s)
+		}
+		a.dropNext = a.controlLaw(now)
+		return shed
+	}
+	for !now.Before(a.dropNext) {
+		s := a.shedLowestLocked()
+		if s == nil {
+			a.dropping = false
+			break
+		}
+		shed = append(shed, s)
+		a.count++
+		a.dropNext = a.controlLaw(a.dropNext)
+	}
+	return shed
+}
+
+func (a *Admission) controlLaw(t time.Time) time.Time {
+	return t.Add(time.Duration(float64(a.cfg.Interval) / math.Sqrt(float64(a.count))))
+}
+
+// shedLowestLocked removes the newest item of the lowest-priority
+// unprotected non-empty tier — the work the ARTP priority model marks
+// expendable, and within it the request that has invested the least wait.
+func (a *Admission) shedLowestLocked() *Item {
+	for t := a.cfg.Tiers - 1; t >= a.cfg.ProtectTiers; t-- {
+		if q := a.tiers[t]; len(q) > 0 {
+			it := q[len(q)-1]
+			q[len(q)-1] = nil
+			a.tiers[t] = q[:len(q)-1]
+			a.codelShed[t]++
+			return it
+		}
+	}
+	return nil
+}
+
+func (a *Admission) depthLocked() int {
+	n := 0
+	for _, q := range a.tiers {
+		n += len(q)
+	}
+	return n
+}
+
+func (a *Admission) observeDelayLocked(tier int, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if a.delayEWMA == 0 {
+		a.delayEWMA = d
+	} else {
+		a.delayEWMA = (3*a.delayEWMA + d) / 4
+	}
+	if a.delayTier[tier] == 0 {
+		a.delayTier[tier] = d
+	} else {
+		a.delayTier[tier] = (3*a.delayTier[tier] + d) / 4
+	}
+}
+
+// Depth reports the total queued items.
+func (a *Admission) Depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.depthLocked()
+}
+
+// QueueDelay reports the smoothed sojourn time of dispatched work — the
+// load signal the ladder and health probe consume.
+func (a *Admission) QueueDelay() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.delayEWMA
+}
+
+// QueueDelayTier reports the smoothed sojourn of one tier's dispatched
+// work — the wait a new request of that tier should expect, since
+// higher-priority work jumps ahead of the global mix.
+func (a *Admission) QueueDelayTier(tier int) time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if tier < 0 || tier >= len(a.delayTier) {
+		return 0
+	}
+	return a.delayTier[tier]
+}
+
+// Close wakes all Pop callers; subsequent Offers are refused. Queued items
+// are retained so a closing caller can drain them with TryPop.
+func (a *Admission) Close() {
+	a.mu.Lock()
+	a.closed = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// Stats snapshots the counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cp := func(s []int64) []int64 { return append([]int64(nil), s...) }
+	return AdmissionStats{
+		Offered:    cp(a.offered),
+		Admitted:   cp(a.admitted),
+		TailDrop:   cp(a.tailDrop),
+		CoDelShed:  cp(a.codelShed),
+		Dispatched: cp(a.dispatched),
+	}
+}

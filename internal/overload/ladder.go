@@ -1,0 +1,54 @@
+package overload
+
+import "time"
+
+// Ladder maps a load signal to a degradation tier. The signal is a
+// duration: the smoothed admission queue delay for an RPC server, or the
+// pending compute backlog for the simulated surrogate — either way, "how
+// long new work will wait before it runs". Thresholds are inclusive lower
+// bounds; a zero threshold disables that rung (and a zero RejectAt ladder
+// never rejects).
+//
+// This is the server-side mirror of the transport's Figure 4 behaviour:
+// as load rises the answer gets cheaper (full -> features-only -> cached
+// pose) before anyone is refused, and refusal is immediate rather than a
+// timeout the client discovers 75 ms too late.
+type Ladder struct {
+	// DegradeAt: backlog at which answers drop to TierFeatures.
+	DegradeAt time.Duration
+	// CacheAt: backlog at which answers drop to TierCached.
+	CacheAt time.Duration
+	// RejectAt: backlog at which new work is refused outright.
+	RejectAt time.Duration
+}
+
+// DefaultLadder derives a ladder from a latency budget (e.g. the paper's
+// 75 ms RTT budget, or an RPC deadline): degrade at a quarter of the
+// budget, serve from cache at half, reject once the backlog alone would
+// consume the whole budget.
+func DefaultLadder(budget time.Duration) Ladder {
+	return Ladder{
+		DegradeAt: budget / 4,
+		CacheAt:   budget / 2,
+		RejectAt:  budget,
+	}
+}
+
+// Enabled reports whether any rung is configured.
+func (l Ladder) Enabled() bool {
+	return l.DegradeAt > 0 || l.CacheAt > 0 || l.RejectAt > 0
+}
+
+// Tier picks the response tier for the given load signal.
+func (l Ladder) Tier(load time.Duration) Tier {
+	switch {
+	case l.RejectAt > 0 && load >= l.RejectAt:
+		return TierReject
+	case l.CacheAt > 0 && load >= l.CacheAt:
+		return TierCached
+	case l.DegradeAt > 0 && load >= l.DegradeAt:
+		return TierFeatures
+	default:
+		return TierFull
+	}
+}

@@ -54,20 +54,34 @@ func DialFailover(addrs []string, cfg ClientConfig) (*FailoverClient, error) {
 // Call tries the primary first, then each backup in order, splitting the
 // remaining deadline evenly across the servers not yet tried. A server
 // whose breaker is open fails in microseconds, so its share of the budget
-// passes almost intact to the next candidate.
+// passes almost intact to the next candidate. Servers that recently
+// declared themselves draining (or whose breaker is open) are deferred to
+// the end of the order: the health hint steers calls away before they
+// fail, but never strands a call when every server looks unhealthy.
 func (fc *FailoverClient) Call(method uint8, req []byte, deadline time.Duration) ([]byte, error) {
 	start := time.Now()
-	var lastErr error
 	n := len(fc.clients)
+	order := make([]int, 0, n)
+	var deferred []int
 	for i, cl := range fc.clients {
+		if cl.BreakerOpen() || cl.KnownDraining() {
+			deferred = append(deferred, i)
+			continue
+		}
+		order = append(order, i)
+	}
+	order = append(order, deferred...)
+
+	var lastErr error
+	for k, idx := range order {
 		remaining := deadline - time.Since(start)
 		if remaining <= 0 {
 			break
 		}
-		share := remaining / time.Duration(n-i)
-		resp, err := cl.Call(method, req, share)
+		share := remaining / time.Duration(len(order)-k)
+		resp, err := fc.clients[idx].Call(method, req, share)
 		if err == nil {
-			if i > 0 {
+			if idx > 0 {
 				fc.mu.Lock()
 				fc.failovers++
 				fc.mu.Unlock()

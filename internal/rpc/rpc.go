@@ -17,18 +17,26 @@
 // sheds work from a dead server, and FailoverClient dispatches to backup
 // servers when the primary's breaker opens (the Figure 5a multi-server
 // topology on real sockets).
+//
+// The server side protects itself: every request carries its ARTP priority
+// and remaining deadline budget, and an overload.Gate decides — before any
+// handler work is spent — whether to run it, queue it, degrade it, or
+// refuse it with a typed status the client sees immediately. A draining
+// server finishes what it accepted while steering new work to backups.
 package rpc
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"marnet/internal/core"
+	"marnet/internal/overload"
 	"marnet/internal/wire"
 )
 
@@ -38,8 +46,29 @@ const (
 	respStream = 0x11
 )
 
-// Message layout: [8B call id][1B method][payload...].
-const rpcHeader = 9
+// Request layout: [8B call id][1B method][1B priority][4B budget µs].
+// The budget is the client's remaining deadline at send time; the server
+// anchors the absolute deadline at arrival, so no clock sync is needed.
+// Response layout: [8B call id][1B method][1B status][payload...].
+const (
+	reqHeader  = 14
+	respHeader = 10
+)
+
+// MethodProbe is reserved: it bypasses admission control and returns the
+// server's health state (healthy/degraded/draining) so clients can steer
+// before errors. Application handlers never see it.
+const MethodProbe uint8 = 0xFF
+
+// Response status codes.
+const (
+	statusOK           = 0 // payload is the handler's full answer
+	statusDegraded     = 1 // payload valid, but served below full fidelity
+	statusShed         = 2 // shed by admission control (queue delay or queue full)
+	statusExpired      = 3 // deadline expired before the server could serve
+	statusCannotFinish = 4 // service-time estimate exceeds the remaining budget
+	statusDraining     = 5 // server draining; only already-admitted work completes
+)
 
 // Errors.
 var (
@@ -48,17 +77,32 @@ var (
 	ErrClosed      = errors.New("rpc: endpoint closed")
 	ErrTooBig      = errors.New("rpc: payload too large")
 	ErrBreakerOpen = errors.New("rpc: circuit breaker open")
+
+	// Server-side admission rejections. Each arrives as an immediate typed
+	// response, not a timeout the client discovers a deadline later.
+	ErrServerShed    = errors.New("rpc: request shed by server admission control")
+	ErrServerExpired = errors.New("rpc: deadline expired before the server could serve")
+	ErrCannotFinish  = errors.New("rpc: server predicted the call cannot finish in budget")
+	ErrDraining      = errors.New("rpc: server draining")
 )
 
-// Handler computes a response for a method and request payload. It runs on
-// the server's receive path; heavy work should be dispatched by the app.
+// Handler computes a response for a method and request payload. Handlers
+// run on the server's worker pool, behind admission control.
 type Handler func(method uint8, req []byte) []byte
+
+// TierHandler is a degradation-aware handler: the gate's ladder tells it
+// which fidelity to serve (full / features-only / cached pose). Responses
+// below TierFull are marked degraded on the wire.
+type TierHandler func(method uint8, req []byte, tier overload.Tier) []byte
 
 // ServerOption tunes a Server at construction.
 type ServerOption func(*serverOptions)
 
 type serverOptions struct {
 	idleTimeout time.Duration
+	overload    overload.Config
+	workers     int
+	tiered      TierHandler
 }
 
 // WithPeerIdleTimeout evicts client connections silent for longer than d,
@@ -68,28 +112,91 @@ func WithPeerIdleTimeout(d time.Duration) ServerOption {
 	return func(o *serverOptions) { o.idleTimeout = d }
 }
 
+// WithOverload replaces the default admission configuration (bounded
+// per-priority queues, CoDel queue-delay shedding, no ladder).
+func WithOverload(cfg overload.Config) ServerOption {
+	return func(o *serverOptions) { o.overload = cfg }
+}
+
+// WithWorkers sets the handler worker pool size (default 8). The pool is
+// what turns queue depth into the load signal: admitted work waits in the
+// tiered queues, not in hidden goroutines.
+func WithWorkers(n int) ServerOption {
+	return func(o *serverOptions) { o.workers = n }
+}
+
+// WithTierHandler installs a degradation-aware handler; it takes
+// precedence over the plain Handler for every non-probe method.
+func WithTierHandler(h TierHandler) ServerOption {
+	return func(o *serverOptions) { o.tiered = h }
+}
+
+// ServerStats is a snapshot of the server's serving and rejection
+// counters. Rejections are split by cause so operators can tell "clients
+// are sending dead-on-arrival work" (ExpiredOnArrival) from "we are
+// overloaded" (Shed, QueueFull) from "we are shutting down" (Draining).
+type ServerStats struct {
+	Served   int64 // calls answered with a handler response
+	Degraded int64 // of Served, answered below TierFull
+	Probes   int64 // health probes answered
+
+	// ExpiredOnArrival counts requests whose propagated deadline had
+	// already passed when the datagram arrived — rejected before any
+	// dispatch work was spent on them.
+	ExpiredOnArrival int64
+	ExpiredInQueue   int64 // deadline passed while queued, before dispatch
+	Shed             int64 // queue-delay sheds and ladder rejects
+	QueueFull        int64 // tier queue at capacity
+	CannotFinish     int64 // estimate did not fit the remaining budget
+	Draining         int64 // refused while draining
+
+	Gate overload.GateStats
+}
+
+// serverCall is the queued unit of work: everything a worker needs to run
+// the handler and answer the right peer.
+type serverCall struct {
+	conn *wire.Conn
+	id   uint64
+	req  []byte
+}
+
 // Server answers calls from any number of clients: behind one shared UDP
 // socket, each client address gets its own ARTP connection (streams,
-// congestion controller, retransmission state).
+// congestion controller, retransmission state). Requests pass through an
+// overload.Gate before any handler runs: per-priority bounded queues,
+// queue-delay shedding, deadline enforcement, and the drain protocol.
 type Server struct {
 	mux     *wire.Mux
 	handler Handler
+	tiered  TierHandler
+	gate    *overload.Gate
+	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	conns  map[string]*wire.Conn
 	served int64
+	stats  ServerStats
 }
 
 // NewServer listens on addr. key (optional) enables AES-GCM sealing.
 func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (*Server, error) {
-	if handler == nil {
-		return nil, fmt.Errorf("rpc: nil handler")
-	}
 	var so serverOptions
 	for _, opt := range opts {
 		opt(&so)
 	}
-	s := &Server{handler: handler, conns: make(map[string]*wire.Conn)}
+	if handler == nil && so.tiered == nil {
+		return nil, fmt.Errorf("rpc: nil handler")
+	}
+	if so.workers <= 0 {
+		so.workers = 8
+	}
+	s := &Server{
+		handler: handler,
+		tiered:  so.tiered,
+		gate:    overload.NewGate(so.overload),
+		conns:   make(map[string]*wire.Conn),
+	}
 	var muxOpts []wire.MuxOption
 	if so.idleTimeout > 0 {
 		muxOpts = append(muxOpts, wire.WithIdleTimeout(so.idleTimeout))
@@ -106,6 +213,7 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 		}
 	}, muxOpts...)
 	if err != nil {
+		s.gate.Close()
 		return nil, err
 	}
 	// The mux registers a peer's conn before its first datagram is
@@ -125,6 +233,10 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 		s.mu.Unlock()
 	})
 	s.mux = mux
+	for i := 0; i < so.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
 	return s, nil
 }
 
@@ -149,11 +261,46 @@ func (s *Server) Served() int64 {
 	return s.served
 }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.mux.Close() }
+// Stats snapshots the serving and rejection counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := s.stats
+	st.Served = s.served
+	s.mu.Unlock()
+	st.Gate = s.gate.Stats()
+	return st
+}
+
+// Gate exposes the admission gate (estimator pre-warming, drain control,
+// direct stats).
+func (s *Server) Gate() *overload.Gate { return s.gate }
+
+// Health reports the probe state clients see.
+func (s *Server) Health() overload.Probe { return s.gate.Health() }
+
+// SetDraining flips the drain state: while draining the server refuses
+// new calls with a draining status (so failover clients move on
+// immediately) but keeps serving everything already admitted.
+func (s *Server) SetDraining(on bool) { s.gate.SetDraining(on) }
+
+// Draining reports the drain state.
+func (s *Server) Draining() bool { return s.gate.Draining() }
+
+// WaitDrain blocks until all admitted work has completed or the timeout
+// elapses, reporting whether the drain finished.
+func (s *Server) WaitDrain(timeout time.Duration) bool { return s.gate.WaitDrain(timeout) }
+
+// Close shuts the server down. For a graceful stop, SetDraining(true) and
+// WaitDrain first; Close alone drops queued work unanswered.
+func (s *Server) Close() error {
+	err := s.mux.Close()
+	s.gate.Close()
+	s.wg.Wait()
+	return err
+}
 
 func (s *Server) onMessage(m wire.Message) {
-	if m.Stream != reqStream || len(m.Payload) < rpcHeader || m.Peer == nil {
+	if m.Stream != reqStream || len(m.Payload) < reqHeader || m.Peer == nil {
 		return
 	}
 	s.mu.Lock()
@@ -164,18 +311,115 @@ func (s *Server) onMessage(m wire.Message) {
 	}
 	id := binary.LittleEndian.Uint64(m.Payload)
 	method := m.Payload[8]
-	resp := s.handler(method, m.Payload[rpcHeader:])
+	prio := core.Priority(m.Payload[9])
+	budget := binary.LittleEndian.Uint32(m.Payload[10:14])
 
-	out := make([]byte, rpcHeader+len(resp))
-	binary.LittleEndian.PutUint64(out, id)
-	out[8] = method
-	copy(out[rpcHeader:], resp)
-	if _, err := conn.Send(respStream, out); err != nil {
+	if method == MethodProbe {
+		s.mu.Lock()
+		s.stats.Probes++
+		s.mu.Unlock()
+		s.respond(conn, id, method, statusOK, []byte{byte(s.gate.Health())})
 		return
 	}
+
+	it := &overload.Item{
+		Tier:   prio.AdmissionTier(),
+		Method: method,
+		Job:    &serverCall{conn: conn, id: id, req: m.Payload[reqHeader:]},
+	}
+	if budget > 0 {
+		// The budget was the client's remaining deadline when it sent the
+		// request; the answer still has to cross the network back, so one
+		// estimated one-way trip is charged before anchoring. A request
+		// that spent its whole budget in flight is dead on arrival.
+		d := time.Duration(budget)*time.Microsecond - conn.SRTT()/2
+		it.Deadline = time.Now().Add(d)
+	}
+	if v := s.gate.Admit(it); v != overload.Admit {
+		s.refuse(it, v, true)
+	}
+}
+
+// worker consumes the admission queues: every item the gate hands over
+// runs the handler; every item the gate refused along the way gets an
+// immediate typed rejection on the wire.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		run, rejected, ok := s.gate.Next()
+		for _, rej := range rejected {
+			s.refuse(rej.Item, rej.Verdict, false)
+		}
+		if !ok {
+			return
+		}
+		call := run.Job.(*serverCall)
+		t0 := time.Now()
+		var resp []byte
+		if s.tiered != nil {
+			resp = s.tiered(run.Method, call.req, run.Degrade)
+		} else {
+			resp = s.handler(run.Method, call.req)
+		}
+		took := time.Since(t0)
+		status := byte(statusOK)
+		if run.Degrade != overload.TierFull && run.Degrade != 0 {
+			status = statusDegraded
+		}
+		if err := s.respond(call.conn, call.id, run.Method, status, resp); err == nil {
+			s.mu.Lock()
+			s.served++
+			if status == statusDegraded {
+				s.stats.Degraded++
+			}
+			s.mu.Unlock()
+		}
+		s.gate.Done(run, took)
+	}
+}
+
+// refuse answers a rejected request with its typed status and records it.
+// onArrival distinguishes decisions made before the request entered a
+// queue from decisions made at dequeue.
+func (s *Server) refuse(it *overload.Item, v overload.Verdict, onArrival bool) {
+	call, okJob := it.Job.(*serverCall)
+	var status byte
 	s.mu.Lock()
-	s.served++
+	switch v {
+	case overload.RejectExpired:
+		status = statusExpired
+		if onArrival {
+			s.stats.ExpiredOnArrival++
+		} else {
+			s.stats.ExpiredInQueue++
+		}
+	case overload.RejectQueueFull:
+		status = statusShed
+		s.stats.QueueFull++
+	case overload.RejectCannotFinish:
+		status = statusCannotFinish
+		s.stats.CannotFinish++
+	case overload.RejectDraining:
+		status = statusDraining
+		s.stats.Draining++
+	default: // RejectShed and anything new: generic shed
+		status = statusShed
+		s.stats.Shed++
+	}
 	s.mu.Unlock()
+	if okJob {
+		s.respond(call.conn, call.id, it.Method, status, nil) //nolint:errcheck // best-effort rejection notice
+	}
+}
+
+func (s *Server) respond(conn *wire.Conn, id uint64, method, status byte, payload []byte) error {
+	out := make([]byte, respHeader+len(payload))
+	binary.LittleEndian.PutUint64(out, id)
+	out[8] = method
+	out[9] = status
+	copy(out[respHeader:], payload)
+	_, err := conn.Send(respStream, out)
+	return err
 }
 
 // RetryPolicy bounds per-call retransmission of whole requests.
@@ -212,6 +456,19 @@ type ClientStats struct {
 	BreakerFastFails int64 // calls rejected while the breaker was open
 	BreakerOpens     int64 // closed→open breaker transitions
 	Reconnects       int64 // session resumptions after dead-peer verdicts
+
+	Degraded           int64 // responses served below full fidelity
+	ServerSheds        int64 // attempts refused by server admission control
+	ServerExpired      int64 // attempts the server declared dead on deadline
+	ServerCannotFinish int64 // attempts the server predicted could not finish
+	ServerDraining     int64 // attempts refused by a draining server
+}
+
+// callResult is one response off the wire: the server's status byte plus
+// whatever payload came with it.
+type callResult struct {
+	status  byte
+	payload []byte
 }
 
 // Client issues calls to a Server.
@@ -219,16 +476,21 @@ type Client struct {
 	sess *wire.Session
 	cfg  ClientConfig
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan []byte
-	closed  bool
-	rng     *rand.Rand
-	stats   ClientStats
+	mu            sync.Mutex
+	nextID        uint64
+	pending       map[uint64]chan callResult
+	closed        bool
+	rng           *rand.Rand
+	stats         ClientStats
+	drainingUntil time.Time
 
 	breaker *breaker
 	lat     *latencyTracker
 }
+
+// drainingTTL is how long a draining status keeps steering calls away
+// from a server before the hint is considered stale.
+const drainingTTL = 2 * time.Second
 
 // ClientConfig tunes a client.
 type ClientConfig struct {
@@ -242,6 +504,12 @@ type ClientConfig struct {
 	RequestDeadline time.Duration
 	// StartBudget seeds the congestion controller (default 10 Mb/s).
 	StartBudget float64
+
+	// Priority is the ARTP priority stamped on every request (default
+	// PrioHighest); the server maps it to an admission tier, so lower
+	// priorities are shed first under overload. CallPri overrides it
+	// per call.
+	Priority core.Priority
 
 	// Keepalive is the heartbeat interval for dead-peer detection and
 	// session resumption (default 250 ms; KeepaliveMiss defaults to 3).
@@ -273,9 +541,12 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.StartBudget <= 0 {
 		cfg.StartBudget = 10e6
 	}
+	if cfg.Priority == 0 {
+		cfg.Priority = core.PrioHighest
+	}
 	c := &Client{
 		cfg:     cfg,
-		pending: make(map[uint64]chan []byte),
+		pending: make(map[uint64]chan callResult),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		breaker: newBreaker(cfg.Breaker),
 		lat:     newLatencyTracker(),
@@ -317,6 +588,21 @@ func (c *Client) Stats() ClientStats {
 // calls (FailoverClient uses this to route around the primary).
 func (c *Client) BreakerOpen() bool { return !c.breaker.allowPeek(time.Now()) }
 
+// KnownDraining reports whether this server recently declared itself
+// draining (via a rejection status or a probe). FailoverClient consults it
+// to steer calls away before they fail.
+func (c *Client) KnownDraining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Now().Before(c.drainingUntil)
+}
+
+func (c *Client) markDraining() {
+	c.mu.Lock()
+	c.drainingUntil = time.Now().Add(drainingTTL)
+	c.mu.Unlock()
+}
+
 // Session exposes the underlying resilient session.
 func (c *Client) Session() *wire.Session { return c.sess }
 
@@ -333,11 +619,17 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) onMessage(m wire.Message) {
-	if m.Stream != respStream || len(m.Payload) < rpcHeader {
+	if m.Stream != respStream || len(m.Payload) < respHeader {
 		return
 	}
 	id := binary.LittleEndian.Uint64(m.Payload)
-	resp := append([]byte(nil), m.Payload[rpcHeader:]...)
+	res := callResult{
+		status:  m.Payload[9],
+		payload: append([]byte(nil), m.Payload[respHeader:]...),
+	}
+	if res.status == statusDraining {
+		c.markDraining()
+	}
 	c.mu.Lock()
 	ch, ok := c.pending[id]
 	if ok {
@@ -345,12 +637,13 @@ func (c *Client) onMessage(m wire.Message) {
 	}
 	c.mu.Unlock()
 	if ok {
-		ch <- resp
+		ch <- res
 	}
 }
 
-// launch registers a call id and sends the request once.
-func (c *Client) launch(method uint8, req []byte) (uint64, chan []byte, error) {
+// launch registers a call id and sends the request once, stamping the
+// priority and the remaining deadline budget into the header.
+func (c *Client) launch(method uint8, req []byte, prio core.Priority, budget time.Duration) (uint64, chan callResult, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -358,14 +651,23 @@ func (c *Client) launch(method uint8, req []byte) (uint64, chan []byte, error) {
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan []byte, 1)
+	ch := make(chan callResult, 1)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	buf := make([]byte, rpcHeader+len(req))
+	buf := make([]byte, reqHeader+len(req))
 	binary.LittleEndian.PutUint64(buf, id)
 	buf[8] = method
-	copy(buf[rpcHeader:], req)
+	buf[9] = byte(prio)
+	us := budget.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	if us > math.MaxUint32 {
+		us = math.MaxUint32
+	}
+	binary.LittleEndian.PutUint32(buf[10:14], uint32(us))
+	copy(buf[reqHeader:], req)
 
 	ok, err := c.sess.Send(reqStream, buf)
 	if err != nil || !ok {
@@ -387,9 +689,46 @@ func (c *Client) unregister(id uint64) {
 	c.mu.Unlock()
 }
 
+// resolve turns a wire response into the caller's result, counting
+// server-side rejections.
+func (c *Client) resolve(res callResult) ([]byte, error) {
+	switch res.status {
+	case statusOK:
+		return res.payload, nil
+	case statusDegraded:
+		c.mu.Lock()
+		c.stats.Degraded++
+		c.mu.Unlock()
+		return res.payload, nil
+	case statusShed:
+		c.mu.Lock()
+		c.stats.ServerSheds++
+		c.mu.Unlock()
+		return nil, ErrServerShed
+	case statusExpired:
+		c.mu.Lock()
+		c.stats.ServerExpired++
+		c.mu.Unlock()
+		return nil, ErrServerExpired
+	case statusCannotFinish:
+		c.mu.Lock()
+		c.stats.ServerCannotFinish++
+		c.mu.Unlock()
+		return nil, ErrCannotFinish
+	case statusDraining:
+		c.mu.Lock()
+		c.stats.ServerDraining++
+		c.mu.Unlock()
+		return nil, ErrDraining
+	default:
+		return nil, fmt.Errorf("rpc: unknown response status %d", res.status)
+	}
+}
+
 // attempt performs one (possibly hedged) request/response exchange.
-func (c *Client) attempt(method uint8, req []byte, timeout time.Duration) ([]byte, error) {
-	id1, ch1, err := c.launch(method, req)
+func (c *Client) attempt(method uint8, req []byte, prio core.Priority, timeout time.Duration) ([]byte, error) {
+	start := time.Now()
+	id1, ch1, err := c.launch(method, req, prio, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -404,7 +743,7 @@ func (c *Client) attempt(method uint8, req []byte, timeout time.Duration) ([]byt
 		}
 	}
 	var id2 uint64
-	var ch2 chan []byte
+	var ch2 chan callResult
 	defer func() {
 		if id2 != 0 {
 			c.unregister(id2)
@@ -415,22 +754,25 @@ func (c *Client) attempt(method uint8, req []byte, timeout time.Duration) ([]byt
 	defer overall.Stop()
 	for {
 		select {
-		case resp, open := <-ch1:
+		case res, open := <-ch1:
 			if !open {
 				return nil, ErrClosed
 			}
-			return resp, nil
-		case resp, open := <-ch2:
+			return c.resolve(res)
+		case res, open := <-ch2:
 			if !open {
 				return nil, ErrClosed
 			}
-			c.mu.Lock()
-			c.stats.HedgeWins++
-			c.mu.Unlock()
-			return resp, nil
+			resp, rerr := c.resolve(res)
+			if rerr == nil {
+				c.mu.Lock()
+				c.stats.HedgeWins++
+				c.mu.Unlock()
+			}
+			return resp, rerr
 		case <-hedgeC:
 			hedgeC = nil
-			if hid, hch, herr := c.launch(method, req); herr == nil {
+			if hid, hch, herr := c.launch(method, req, prio, timeout-time.Since(start)); herr == nil {
 				id2, ch2 = hid, hch
 				c.mu.Lock()
 				c.stats.Hedges++
@@ -453,12 +795,36 @@ func (c *Client) hedgeDelay(timeout time.Duration) time.Duration {
 	return timeout / 2
 }
 
-// Call sends a request and waits up to deadline for the response,
-// retrying (per RetryPolicy) with seeded-jitter exponential backoff inside
-// the deadline, hedging stragglers (per HedgePolicy), and honoring the
-// circuit breaker.
+// Probe asks the server for its health state, bypassing admission
+// control. A draining answer is cached so subsequent failover decisions
+// steer away without a round trip.
+func (c *Client) Probe(timeout time.Duration) (overload.Probe, error) {
+	payload, err := c.attempt(MethodProbe, nil, c.cfg.Priority, timeout)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 1 {
+		return 0, fmt.Errorf("rpc: malformed probe response (%d bytes)", len(payload))
+	}
+	p := overload.Probe(payload[0])
+	if p == overload.ProbeDraining {
+		c.markDraining()
+	}
+	return p, nil
+}
+
+// Call sends a request at the client's configured priority and waits up
+// to deadline for the response, retrying (per RetryPolicy) with
+// seeded-jitter exponential backoff inside the deadline, hedging
+// stragglers (per HedgePolicy), and honoring the circuit breaker.
 func (c *Client) Call(method uint8, req []byte, deadline time.Duration) ([]byte, error) {
-	if len(req)+rpcHeader > wire.MaxPayload {
+	return c.CallPri(method, req, c.cfg.Priority, deadline)
+}
+
+// CallPri is Call with an explicit ARTP priority: the server admits
+// PrioHighest into its most protected tier and sheds PrioLowest first.
+func (c *Client) CallPri(method uint8, req []byte, prio core.Priority, deadline time.Duration) ([]byte, error) {
+	if len(req)+reqHeader > wire.MaxPayload {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooBig, len(req))
 	}
 	c.mu.Lock()
@@ -492,15 +858,17 @@ func (c *Client) Call(method uint8, req []byte, deadline time.Duration) ([]byte,
 		}
 		per := remaining / time.Duration(attempts-a)
 		t0 := time.Now()
-		resp, err := c.attempt(method, req, per)
+		resp, err := c.attempt(method, req, prio, per)
 		if err == nil {
 			c.lat.record(time.Since(t0))
 			c.breaker.record(true, time.Now())
 			return resp, nil
 		}
 		lastErr = err
-		if errors.Is(err, ErrClosed) {
-			break // permanent: no point retrying
+		if errors.Is(err, ErrClosed) || errors.Is(err, ErrDraining) {
+			// Permanent for this server: no point retrying here — a
+			// failover client moves the call to a backup instead.
+			break
 		}
 		if a < attempts-1 {
 			c.mu.Lock()

@@ -340,6 +340,15 @@ func (c *Conn) Budget() float64 {
 	return c.ctrl.Budget()
 }
 
+// SRTT reports the controller's smoothed round-trip estimate (zero before
+// the first acknowledged exchange). Deadline-aware servers use half of it
+// as the one-way return-trip charge when anchoring propagated budgets.
+func (c *Conn) SRTT() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ctrl.SRTT()
+}
+
 // Close stops all goroutines and closes the socket.
 func (c *Conn) Close() error {
 	c.mu.Lock()

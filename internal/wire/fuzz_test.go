@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHeaderDecode throws arbitrary bytes at the frame decoder. Invariants:
+// never panic, never return a payload longer than the input, and any frame
+// that decodes cleanly must survive a re-encode/re-decode round trip
+// unchanged.
+func FuzzHeaderDecode(f *testing.F) {
+	// Seed with a valid frame of every type, plus known edge cases.
+	for _, typ := range []uint8{TypeData, TypeAck, TypeNack, TypePing, TypePong} {
+		frame, err := AppendFrame(nil, Header{
+			Type: typ, Stream: 7, Class: 2, Prio: 1,
+			Seq: 42, SendMicro: 123456,
+		}, []byte("payload"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xA2, 0x7B}, HeaderLen))
+	f.Add(func() []byte { // truncated: header promises more payload than present
+		frame, _ := AppendFrame(nil, Header{Type: TypeData}, make([]byte, 100))
+		return frame[:HeaderLen+10]
+	}())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if int(h.PayloadLen) != len(payload) {
+			t.Fatalf("declared payload %d, returned %d", h.PayloadLen, len(payload))
+		}
+		if len(payload) > len(data) {
+			t.Fatalf("payload (%d) longer than input (%d)", len(payload), len(data))
+		}
+		reenc, err := AppendFrame(nil, h, payload)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		h2, payload2, err := DecodeFrame(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if h2 != h || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip changed the frame:\n %+v %q\n-> %+v %q", h, payload, h2, payload2)
+		}
+	})
+}
+
+// FuzzNackDecode covers the variable-length NACK payload codec with the
+// same no-panic + round-trip invariants.
+func FuzzNackDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add(EncodeNackPayload([]int64{1, 2, 3, -9}))
+	f.Add(EncodeNackPayload(nil))
+	f.Add([]byte{0xFF, 0xFF}) // declares 65535 seqs, carries none
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		missing, err := DecodeNackPayload(data)
+		if err != nil {
+			return
+		}
+		reenc := EncodeNackPayload(missing)
+		missing2, err := DecodeNackPayload(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded NACK failed to decode: %v", err)
+		}
+		if len(missing2) != len(missing) {
+			t.Fatalf("round trip changed count: %d -> %d", len(missing), len(missing2))
+		}
+		for i := range missing {
+			if missing[i] != missing2[i] {
+				t.Fatalf("seq %d changed: %d -> %d", i, missing[i], missing2[i])
+			}
+		}
+	})
+}
