@@ -2,16 +2,16 @@ GO ?= go
 
 # Packages with real concurrency (goroutines + sockets) that must stay
 # race-clean; the rest of the tree is a single-threaded simulator.
-RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/...
+RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/... ./internal/obs/...
 
 # Per-fuzzer budget for the smoke pass wired into ci.
 FUZZTIME ?= 10s
 
-.PHONY: all ci vet build test race chaos overload fuzz clean
+.PHONY: all ci vet build test race chaos overload fuzz bench-smoke clean
 
 all: ci
 
-ci: vet build test race fuzz
+ci: vet build test race bench-smoke fuzz
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,13 @@ chaos:
 # drain-and-failover pass (skipped under -short), race-checked.
 overload:
 	$(GO) test -race -run 'TestOverloadStorm|TestOverloadDrain' -v ./internal/rpc/
+
+# One iteration of every hot-path benchmark: catches benchmarks that no
+# longer compile or panic without paying for a full measurement run. The
+# allocation bound on the disabled-tracing fast path is asserted by
+# TestDisabledTracingAllocs in the regular test pass.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x ./internal/obs/ ./internal/queue/
 
 # Short coverage-guided smoke over the wire-format decoders. Go runs one
 # fuzz target per invocation, so each gets its own budget.

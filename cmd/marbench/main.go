@@ -2,7 +2,7 @@
 // prints them in the paper's layout. Run with no arguments for everything,
 // or name the experiments to run:
 //
-//	marbench table1 table2 fig2 fig3 fig4 fig5 s3b s4a s4c s4d s6c s6d s6f s6h overload
+//	marbench table1 table2 fig2 fig3 fig4 fig5 s3b s4a s4c s4d s6c s6d s6f s6h overload budget
 package main
 
 import (
@@ -86,6 +86,7 @@ func run(args []string, seed int64) error {
 		{"s6f", func(s int64) string { return experiments.SectionVIF(s).Format() }},
 		{"s6h", func(s int64) string { return experiments.SectionVIH(s).Format() }},
 		{"overload", func(s int64) string { return experiments.Overload(s).Format() }},
+		{"budget", func(s int64) string { return experiments.Budget(s).Format() }},
 	}
 	want := make(map[string]bool, len(args))
 	for _, a := range args {

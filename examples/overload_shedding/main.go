@@ -10,18 +10,49 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"marnet/internal/core"
+	"marnet/internal/obs"
 	"marnet/internal/overload"
 	"marnet/internal/rpc"
 )
 
 const methodRecognize = 1
+
+// scrape pulls /metrics once and echoes the shed/served counters — the
+// same lines a Prometheus scraper (or curl) would see mid-storm.
+func scrape(addr string) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		log.Printf("scrape: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Printf("scrape: %v", err)
+		return
+	}
+	fmt.Println("  scraped /metrics (excerpt):")
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "mar_gate_admitted_total") ||
+			strings.HasPrefix(line, "mar_gate_ladder_rejected_total") ||
+			strings.HasPrefix(line, "mar_rpc_server_served_total") ||
+			strings.HasPrefix(line, "mar_rpc_server_shed_total") {
+			fmt.Println("    " + line)
+		}
+	}
+	fmt.Println()
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -55,8 +86,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("recognition server on %s: 4 workers, 5 ms/request, ladder at %v/%v/%v\n\n",
+	fmt.Printf("recognition server on %s: 4 workers, 5 ms/request, ladder at %v/%v/%v\n",
 		srv.Addr(), cfg.Ladder.DegradeAt, cfg.Ladder.CacheAt, cfg.Ladder.RejectAt)
+
+	// Observability sidecar: every server and gate counter is scrapeable in
+	// Prometheus text format for the lifetime of the run. Try, mid-storm:
+	//
+	//	curl -s http://<addr>/metrics | grep mar_gate
+	//	curl -s http://<addr>/healthz
+	reg := obs.NewRegistry()
+	srv.PublishMetrics(reg)
+	mux := obs.NewMux(func() (string, bool) {
+		h := srv.Health()
+		return h.String(), h == overload.ProbeHealthy
+	}, reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+	fmt.Printf("metrics on http://%s/metrics (health on /healthz)\n\n", ln.Addr())
 
 	// Four clients, one per ARTP priority, together offering ~4x capacity.
 	type class struct {
@@ -107,9 +157,10 @@ func run() error {
 			c.prio, c.ok, c.offered, 100*float64(c.ok)/float64(c.offered))
 	}
 	st := srv.Stats()
-	fmt.Printf("  server: served=%d degraded=%d shed=%d queue-full=%d cannot-finish=%d expired=%d (health: %v)\n\n",
+	fmt.Printf("  server: served=%d degraded=%d shed=%d queue-full=%d cannot-finish=%d expired=%d (health: %v)\n",
 		st.Served, st.Degraded, st.Shed, st.QueueFull, st.CannotFinish,
 		st.ExpiredOnArrival+st.ExpiredInQueue, srv.Health())
+	scrape(ln.Addr().String())
 
 	// Phase 2: drain mid-load, fail over to a backup, lose nothing.
 	backup, err := newServer()

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"marnet/internal/obs"
+)
+
+func TestBudgetShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket experiment")
+	}
+	r := Budget(7)
+	if r.Complete < r.Frames*3/4 {
+		t.Fatalf("only %d/%d frames completed", r.Complete, r.Frames)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("got %d stage rows, want 6", len(r.Rows))
+	}
+	if r.MaxSumErr > 0.05 {
+		t.Errorf("attribution error %.2f%% exceeds the 5%% acceptance bound", 100*r.MaxSumErr)
+	}
+	if r.Retried == 0 {
+		t.Error("10% loss produced no retried/hedged frame")
+	}
+	var share float64
+	byStage := map[string]BudgetStageRow{}
+	for _, row := range r.Rows {
+		share += row.Share
+		byStage[row.Stage] = row
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Errorf("stage shares sum to %.3f, want ~1", share)
+	}
+	if byStage[obs.StageCompute].Mean < 2*time.Millisecond {
+		t.Errorf("compute mean %v below the 3ms handler sleep", byStage[obs.StageCompute].Mean)
+	}
+	out := r.Format()
+	for _, want := range []string{"motion-to-photon", "overhead", "attribution error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

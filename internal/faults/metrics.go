@@ -1,0 +1,33 @@
+package faults
+
+import "marnet/internal/obs"
+
+// PublishMetrics registers the relay's per-direction fault counters with
+// an observability registry as live read-through functions: every scrape
+// reports exactly what Counters would return at that instant. Each
+// direction gets a dir="up"/"down" label on top of the caller's labels.
+func (r *Relay) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	for _, dir := range []Direction{Up, Down} {
+		dir := dir
+		ls := append(append([]obs.Label(nil), labels...), obs.L("dir", dir.String()))
+		for _, m := range []struct {
+			name string
+			get  func(Counters) int64
+		}{
+			{"mar_faults_received_total", func(c Counters) int64 { return c.Received }},
+			{"mar_faults_forwarded_total", func(c Counters) int64 { return c.Forwarded }},
+			{"mar_faults_dropped_total", func(c Counters) int64 { return c.Dropped }},
+			{"mar_faults_rate_dropped_total", func(c Counters) int64 { return c.RateDropped }},
+			{"mar_faults_blackholed_total", func(c Counters) int64 { return c.Blackholed }},
+			{"mar_faults_corrupted_total", func(c Counters) int64 { return c.Corrupted }},
+			{"mar_faults_duplicated_total", func(c Counters) int64 { return c.Duplicated }},
+			{"mar_faults_reordered_total", func(c Counters) int64 { return c.Reordered }},
+		} {
+			get := m.get
+			reg.CounterFunc(m.name, func() int64 { return get(r.Counters(dir)) }, ls...)
+		}
+	}
+}

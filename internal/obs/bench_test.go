@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 997)
+	}
+}
+
+func BenchmarkRegistryCounterLookup(b *testing.B) {
+	r := NewRegistry()
+	ls := []Label{L("stream", "video")}
+	r.Counter("frames_total", ls...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Counter("frames_total", ls...).Inc()
+	}
+}
+
+// BenchmarkSpanDisabled is the disabled-tracing fast path the CI
+// bench-smoke pass watches: it must stay under 2 allocations per call
+// (TestDisabledTracingAllocs enforces the same bound as a hard test).
+func BenchmarkSpanDisabled(b *testing.B) {
+	tr := NewTracer(4, 1)
+	tr.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartTrace("frame")
+		s.Stage("queue", time.Millisecond)
+		s.Finish()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(1024, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartTrace("frame")
+		s.Stage("queue", time.Millisecond)
+		s.Finish()
+	}
+}
+
+func BenchmarkBudgetObserve(b *testing.B) {
+	bt := NewBudgetTracker(DefaultBudget, NewRegistry())
+	r := BudgetReport{Total: 80 * time.Millisecond, Queue: 40 * time.Millisecond, Compute: 40 * time.Millisecond}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bt.Observe(r)
+	}
+}

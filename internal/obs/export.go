@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promEscape escapes a label value for the Prometheus text format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func promLabels(ls []Label, extra ...Label) string {
+	all := append(append([]Label(nil), ls...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, promEscape(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func fmtValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registry in Prometheus text exposition
+// format. Histograms export as summaries: p50/p95/p99 quantile samples
+// plus _sum, _count and _max series.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	typed := make(map[string]bool)
+	for _, reg := range regs {
+		if reg == nil {
+			continue
+		}
+		for _, p := range reg.Gather() {
+			if !typed[p.Name] {
+				typed[p.Name] = true
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+					return err
+				}
+			}
+			if p.Kind == KindHistogram {
+				s := p.Hist
+				for _, q := range [...]struct {
+					q float64
+					s string
+				}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+					if _, err := fmt.Fprintf(w, "%s%s %d\n", p.Name,
+						promLabels(p.Labels, L("quantile", q.s)), s.Quantile(q.q)); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n%s_max%s %d\n",
+					p.Name, promLabels(p.Labels), s.Sum,
+					p.Name, promLabels(p.Labels), s.Count,
+					p.Name, promLabels(p.Labels), s.Max); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels), fmtValue(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteExpvar renders every registry as a flat expvar-style JSON object:
+// "name{k=v}" keys mapping to numbers, histograms to
+// {count,sum,max,p50,p95,p99} objects.
+func WriteExpvar(w io.Writer, regs ...*Registry) error {
+	if _, err := fmt.Fprint(w, "{"); err != nil {
+		return err
+	}
+	first := true
+	for _, reg := range regs {
+		if reg == nil {
+			continue
+		}
+		for _, p := range reg.Gather() {
+			if !first {
+				if _, err := fmt.Fprint(w, ",\n"); err != nil {
+					return err
+				}
+			}
+			first = false
+			k := key(p.Name, p.Labels)
+			if p.Kind == KindHistogram {
+				s := p.Hist
+				if _, err := fmt.Fprintf(w, "%q: {\"count\": %d, \"sum\": %d, \"max\": %d, \"p50\": %d, \"p95\": %d, \"p99\": %d}",
+					k, s.Count, s.Sum, s.Max, s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%q: %s", k, fmtValue(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprint(w, "}\n")
+	return err
+}
+
+// HealthFunc reports a component's health: a status string (e.g. the
+// overload probe state) and whether the component should answer 200.
+type HealthFunc func() (status string, ok bool)
+
+// NewMux builds the observability endpoint: /metrics (Prometheus text),
+// /metrics.json (expvar-style JSON) and /healthz (the health callback; a
+// nil callback always answers "ok"). Registries are scraped live on every
+// request.
+func NewMux(health HealthFunc, regs ...*Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, regs...) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		WriteExpvar(w, regs...) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		status, ok := "ok", true
+		if health != nil {
+			status, ok = health()
+		}
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, status) //nolint:errcheck // client went away
+	})
+	return mux
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", L("stream", "video")).Add(3)
+	r.Gauge("queue_depth").Set(1.5)
+	h := r.Histogram("latency_ns")
+	h.Observe(1000)
+	h.Observe(2000)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE frames_total counter",
+		`frames_total{stream="video"} 3`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 1.5",
+		"# TYPE latency_ns summary",
+		`latency_ns{quantile="0.5"}`,
+		"latency_ns_sum 3000",
+		"latency_ns_count 2",
+		"latency_ns_max 2000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteExpvarIsValidJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Histogram("h", L("x", `quo"te`)).Observe(5)
+	var b strings.Builder
+	if err := WriteExpvar(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("expvar output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if m["a"] != float64(1) {
+		t.Fatalf("a = %v, want 1", m["a"])
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(12)
+	healthy := true
+	mux := NewMux(func() (string, bool) { return "degraded", healthy }, r)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "served_total 12") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, `"served_total": 12`) {
+		t.Fatalf("/metrics.json = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "degraded") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, _ := get("/healthz"); code != 503 {
+		t.Fatalf("/healthz while unhealthy = %d, want 503", code)
+	}
+}

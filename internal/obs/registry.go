@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value dimension attached to a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates what a registry entry measures.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+	KindCounterFunc
+	KindGaugeFunc
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter, KindCounterFunc:
+		return "counter"
+	case KindGauge, KindGaugeFunc:
+		return "gauge"
+	case KindHistogram:
+		return "summary"
+	}
+	return "untyped"
+}
+
+type entry struct {
+	name   string
+	labels []Label
+	kind   Kind
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	cf func() int64
+	gf func() float64
+}
+
+// Registry is a named metric store. The same name+labels always resolves
+// to the same instrument; registering an existing name with a different
+// kind panics (a programming error, like registering two flags with one
+// name). Func-backed entries may be re-registered, replacing the callback
+// — components that publish a live snapshot struct use this to survive
+// reconstruction.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+	order   []string // insertion order, for stable export
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// key renders the unique identity of name+labels. Labels are sorted so
+// the same set in any order is one metric.
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) get(name string, kind Kind, labels []Label) *entry {
+	k := key(name, labels)
+	r.mu.RLock()
+	e := r.entries[k]
+	r.mu.RUnlock()
+	if e != nil {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", k, kind, e.kind))
+		}
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e = r.entries[k]; e != nil {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", k, kind, e.kind))
+		}
+		return e
+	}
+	e = &entry{name: name, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case KindCounter:
+		e.c = &Counter{}
+	case KindGauge:
+		e.g = &Gauge{}
+	case KindHistogram:
+		e.h = &Histogram{}
+	}
+	r.entries[k] = e
+	r.order = append(r.order, k)
+	return e
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.get(name, KindCounter, labels).c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.get(name, KindGauge, labels).g
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.get(name, KindHistogram, labels).h
+}
+
+// CounterFunc registers (or replaces) a callback-backed counter — the
+// adapter that exposes a pre-existing snapshot field through the registry
+// without moving the counter itself.
+func (r *Registry) CounterFunc(name string, fn func() int64, labels ...Label) {
+	e := r.get(name, KindCounterFunc, labels)
+	r.mu.Lock()
+	e.cf = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers (or replaces) a callback-backed gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	e := r.get(name, KindGaugeFunc, labels)
+	r.mu.Lock()
+	e.gf = fn
+	r.mu.Unlock()
+}
+
+// Point is one exported sample.
+type Point struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	Value  float64       // counters, gauges and funcs
+	Hist   *HistSnapshot // histograms only
+}
+
+// Gather snapshots every metric in registration order. Func-backed
+// entries are invoked without registry locks held beyond the map read, so
+// callbacks may take their component's own locks.
+func (r *Registry) Gather() []Point {
+	r.mu.RLock()
+	es := make([]*entry, 0, len(r.order))
+	for _, k := range r.order {
+		es = append(es, r.entries[k])
+	}
+	r.mu.RUnlock()
+
+	pts := make([]Point, 0, len(es))
+	for _, e := range es {
+		p := Point{Name: e.name, Labels: e.labels, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			p.Value = float64(e.c.Value())
+		case KindGauge:
+			p.Value = e.g.Value()
+		case KindHistogram:
+			s := e.h.Snapshot()
+			p.Hist = &s
+		case KindCounterFunc:
+			r.mu.RLock()
+			fn := e.cf
+			r.mu.RUnlock()
+			if fn != nil {
+				p.Value = float64(fn())
+			}
+		case KindGaugeFunc:
+			r.mu.RLock()
+			fn := e.gf
+			r.mu.RUnlock()
+			if fn != nil {
+				p.Value = fn()
+			}
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// Lookup returns the gathered point for name+labels (ok=false when the
+// metric does not exist). Tests use it to compare exported values against
+// legacy snapshot structs.
+func (r *Registry) Lookup(name string, labels ...Label) (Point, bool) {
+	k := key(name, labels)
+	r.mu.RLock()
+	_, exists := r.entries[k]
+	r.mu.RUnlock()
+	if !exists {
+		return Point{}, false
+	}
+	for _, p := range r.Gather() {
+		if key(p.Name, p.Labels) == k {
+			return p, true
+		}
+	}
+	return Point{}, false
+}

@@ -2,8 +2,11 @@ package rpc
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"marnet/internal/obs"
 )
 
 // FailoverClient dispatches calls across a primary server and ordered
@@ -106,6 +109,25 @@ func (fc *FailoverClient) Stats() FailoverStats {
 	st.Failovers = fc.failovers
 	fc.mu.Unlock()
 	return st
+}
+
+// PublishMetrics registers the failover counter plus every per-server
+// client's counters with an observability registry; each server's
+// metrics get a server="<index>" label (0 = primary) on top of the
+// caller's labels.
+func (fc *FailoverClient) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("mar_rpc_failovers_total", func() int64 {
+		fc.mu.Lock()
+		defer fc.mu.Unlock()
+		return fc.failovers
+	}, labels...)
+	for i, cl := range fc.clients {
+		ls := append(append([]obs.Label(nil), labels...), obs.L("server", strconv.Itoa(i)))
+		cl.PublishMetrics(reg, ls...)
+	}
 }
 
 // Clients exposes the per-server clients (primary first).

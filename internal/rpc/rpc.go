@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"marnet/internal/core"
+	"marnet/internal/obs"
 	"marnet/internal/overload"
 	"marnet/internal/wire"
 )
@@ -50,9 +51,17 @@ const (
 // The budget is the client's remaining deadline at send time; the server
 // anchors the absolute deadline at arrival, so no clock sync is needed.
 // Response layout: [8B call id][1B method][1B status][payload...].
+//
+// Traced calls (wire v3 frames, nonzero trace id) get an 8-byte timing
+// trailer between the response header and the payload:
+// [4B queue-wait µs][4B service-time µs]. The client uses it to attribute
+// the frame's latency budget (obs.BudgetReport) without clock sync: both
+// values are durations measured entirely on the server. Untraced
+// responses are byte-identical to the legacy layout.
 const (
-	reqHeader  = 14
-	respHeader = 10
+	reqHeader    = 14
+	respHeader   = 10
+	traceTrailer = 8
 )
 
 // MethodProbe is reserved: it bypasses admission control and returns the
@@ -103,6 +112,7 @@ type serverOptions struct {
 	overload    overload.Config
 	workers     int
 	tiered      TierHandler
+	tracer      *obs.Tracer
 }
 
 // WithPeerIdleTimeout evicts client connections silent for longer than d,
@@ -131,6 +141,14 @@ func WithTierHandler(h TierHandler) ServerOption {
 	return func(o *serverOptions) { o.tiered = h }
 }
 
+// WithTracer records a server-side span for every traced call, stitched
+// to the client's trace via the wire v3 header. Traced calls carry a
+// timing trailer on the response whether or not a tracer is installed;
+// the tracer only controls whether the server keeps its own spans.
+func WithTracer(t *obs.Tracer) ServerOption {
+	return func(o *serverOptions) { o.tracer = t }
+}
+
 // ServerStats is a snapshot of the server's serving and rejection
 // counters. Rejections are split by cause so operators can tell "clients
 // are sending dead-on-arrival work" (ExpiredOnArrival) from "we are
@@ -154,11 +172,16 @@ type ServerStats struct {
 }
 
 // serverCall is the queued unit of work: everything a worker needs to run
-// the handler and answer the right peer.
+// the handler and answer the right peer. arrived anchors the queue-wait
+// measurement; traceID/spanID carry the client's trace context (zero when
+// the request was untraced).
 type serverCall struct {
-	conn *wire.Conn
-	id   uint64
-	req  []byte
+	conn    *wire.Conn
+	id      uint64
+	req     []byte
+	arrived time.Time
+	traceID uint64
+	spanID  uint64
 }
 
 // Server answers calls from any number of clients: behind one shared UDP
@@ -171,6 +194,7 @@ type Server struct {
 	handler Handler
 	tiered  TierHandler
 	gate    *overload.Gate
+	tracer  *obs.Tracer
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
@@ -195,6 +219,7 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 		handler: handler,
 		tiered:  so.tiered,
 		gate:    overload.NewGate(so.overload),
+		tracer:  so.tracer,
 		conns:   make(map[string]*wire.Conn),
 	}
 	var muxOpts []wire.MuxOption
@@ -271,6 +296,26 @@ func (s *Server) Stats() ServerStats {
 	return st
 }
 
+// PublishMetrics registers the server's serving/rejection counters (and
+// its gate's admission counters) with an observability registry as live
+// read-through functions: every scrape reports exactly what Stats would.
+func (s *Server) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("mar_rpc_server_served_total", func() int64 { return s.Stats().Served }, labels...)
+	reg.CounterFunc("mar_rpc_server_degraded_total", func() int64 { return s.Stats().Degraded }, labels...)
+	reg.CounterFunc("mar_rpc_server_probes_total", func() int64 { return s.Stats().Probes }, labels...)
+	reg.CounterFunc("mar_rpc_server_expired_on_arrival_total", func() int64 { return s.Stats().ExpiredOnArrival }, labels...)
+	reg.CounterFunc("mar_rpc_server_expired_in_queue_total", func() int64 { return s.Stats().ExpiredInQueue }, labels...)
+	reg.CounterFunc("mar_rpc_server_shed_total", func() int64 { return s.Stats().Shed }, labels...)
+	reg.CounterFunc("mar_rpc_server_queue_full_total", func() int64 { return s.Stats().QueueFull }, labels...)
+	reg.CounterFunc("mar_rpc_server_cannot_finish_total", func() int64 { return s.Stats().CannotFinish }, labels...)
+	reg.CounterFunc("mar_rpc_server_draining_total", func() int64 { return s.Stats().Draining }, labels...)
+	reg.GaugeFunc("mar_rpc_server_clients", func() float64 { return float64(s.Clients()) }, labels...)
+	s.gate.PublishMetrics(reg, labels...)
+}
+
 // Gate exposes the admission gate (estimator pre-warming, drain control,
 // direct stats).
 func (s *Server) Gate() *overload.Gate { return s.gate }
@@ -318,14 +363,18 @@ func (s *Server) onMessage(m wire.Message) {
 		s.mu.Lock()
 		s.stats.Probes++
 		s.mu.Unlock()
-		s.respond(conn, id, method, statusOK, []byte{byte(s.gate.Health())})
+		s.respondTraced(conn, id, method, statusOK, []byte{byte(s.gate.Health())},
+			m.TraceID, m.SpanID, 0, 0)
 		return
 	}
 
 	it := &overload.Item{
 		Tier:   prio.AdmissionTier(),
 		Method: method,
-		Job:    &serverCall{conn: conn, id: id, req: m.Payload[reqHeader:]},
+		Job: &serverCall{
+			conn: conn, id: id, req: m.Payload[reqHeader:],
+			arrived: time.Now(), traceID: m.TraceID, spanID: m.SpanID,
+		},
 	}
 	if budget > 0 {
 		// The budget was the client's remaining deadline when it sent the
@@ -355,6 +404,8 @@ func (s *Server) worker() {
 		}
 		call := run.Job.(*serverCall)
 		t0 := time.Now()
+		queued := t0.Sub(call.arrived)
+		span := s.tracer.StartSpan("server", obs.TraceID(call.traceID), obs.SpanID(call.spanID))
 		var resp []byte
 		if s.tiered != nil {
 			resp = s.tiered(run.Method, call.req, run.Degrade)
@@ -362,11 +413,16 @@ func (s *Server) worker() {
 			resp = s.handler(run.Method, call.req)
 		}
 		took := time.Since(t0)
+		span.Stage(obs.StageQueue, queued)
+		span.Stage(obs.StageCompute, took)
+		span.Finish()
 		status := byte(statusOK)
 		if run.Degrade != overload.TierFull && run.Degrade != 0 {
 			status = statusDegraded
 		}
-		if err := s.respond(call.conn, call.id, run.Method, status, resp); err == nil {
+		err := s.respondTraced(call.conn, call.id, run.Method, status, resp,
+			call.traceID, call.spanID, queued, took)
+		if err == nil {
 			s.mu.Lock()
 			s.served++
 			if status == statusDegraded {
@@ -408,7 +464,15 @@ func (s *Server) refuse(it *overload.Item, v overload.Verdict, onArrival bool) {
 	}
 	s.mu.Unlock()
 	if okJob {
-		s.respond(call.conn, call.id, it.Method, status, nil) //nolint:errcheck // best-effort rejection notice
+		// Refusals on traced calls still carry the timing trailer (queue
+		// wait up to the refusal, zero service time) so the client's
+		// budget attribution can blame the server queue, not the network.
+		var queued time.Duration
+		if !call.arrived.IsZero() {
+			queued = time.Since(call.arrived)
+		}
+		s.respondTraced(call.conn, call.id, it.Method, status, nil, //nolint:errcheck // best-effort rejection notice
+			call.traceID, call.spanID, queued, 0)
 	}
 }
 
@@ -420,6 +484,38 @@ func (s *Server) respond(conn *wire.Conn, id uint64, method, status byte, payloa
 	copy(out[respHeader:], payload)
 	_, err := conn.Send(respStream, out)
 	return err
+}
+
+// respondTraced answers a traced call: the response frame echoes the
+// trace context (wire v3) and carries the server-measured queue wait and
+// service time as a trailer. Untraced calls (traceID 0) fall back to the
+// legacy response layout.
+func (s *Server) respondTraced(conn *wire.Conn, id uint64, method, status byte, payload []byte, traceID, spanID uint64, queued, service time.Duration) error {
+	if traceID == 0 {
+		return s.respond(conn, id, method, status, payload)
+	}
+	out := make([]byte, respHeader+traceTrailer+len(payload))
+	binary.LittleEndian.PutUint64(out, id)
+	out[8] = method
+	out[9] = status
+	binary.LittleEndian.PutUint32(out[respHeader:], clampMicros(queued))
+	binary.LittleEndian.PutUint32(out[respHeader+4:], clampMicros(service))
+	copy(out[respHeader+traceTrailer:], payload)
+	_, err := conn.SendTraced(respStream, out, traceID, spanID)
+	return err
+}
+
+// clampMicros narrows a duration to the trailer's uint32 microsecond
+// field (saturating at ~71 minutes, far beyond any call deadline).
+func clampMicros(d time.Duration) uint32 {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	if us > math.MaxUint32 {
+		us = math.MaxUint32
+	}
+	return uint32(us)
 }
 
 // RetryPolicy bounds per-call retransmission of whole requests.
@@ -465,16 +561,20 @@ type ClientStats struct {
 }
 
 // callResult is one response off the wire: the server's status byte plus
-// whatever payload came with it.
+// whatever payload came with it. Traced responses additionally carry the
+// server-measured queue wait and service time from the timing trailer.
 type callResult struct {
 	status  byte
 	payload []byte
+	queued  time.Duration
+	service time.Duration
 }
 
 // Client issues calls to a Server.
 type Client struct {
-	sess *wire.Session
-	cfg  ClientConfig
+	sess   *wire.Session
+	cfg    ClientConfig
+	budget *obs.BudgetTracker
 
 	mu            sync.Mutex
 	nextID        uint64
@@ -528,6 +628,21 @@ type ClientConfig struct {
 	// OnStateChange observes session liveness (wire.StateDead on outage,
 	// wire.StateActive on recovery).
 	OnStateChange func(wire.State)
+
+	// Tracer, when set, mints a span per call, propagates its trace id in
+	// the wire v3 request header, and turns on per-frame budget
+	// attribution: every finished call produces an obs.BudgetReport
+	// splitting its latency across queue/compute/network/overhead.
+	Tracer *obs.Tracer
+	// Budget is the per-frame latency target the reports are judged
+	// against (default obs.DefaultBudget, the paper's 75 ms loop).
+	Budget time.Duration
+	// Metrics, when set alongside Tracer, receives the budget tracker's
+	// histograms and blown-frame counters at Dial.
+	Metrics *obs.Registry
+	// MetricsLabels are attached to every metric the budget tracker
+	// registers on Metrics.
+	MetricsLabels []obs.Label
 }
 
 // Dial connects to a server.
@@ -544,12 +659,18 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.Priority == 0 {
 		cfg.Priority = core.PrioHighest
 	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = obs.DefaultBudget
+	}
 	c := &Client{
 		cfg:     cfg,
 		pending: make(map[uint64]chan callResult),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		breaker: newBreaker(cfg.Breaker),
 		lat:     newLatencyTracker(),
+	}
+	if cfg.Tracer != nil {
+		c.budget = obs.NewBudgetTracker(cfg.Budget, cfg.Metrics, cfg.MetricsLabels...)
 	}
 	sess, err := wire.DialSession(addr, wire.Config{
 		Streams: []wire.StreamSpec{
@@ -582,6 +703,47 @@ func (c *Client) Stats() ClientStats {
 	st.BreakerOpens = c.breaker.openCount()
 	st.Reconnects = c.sess.Reconnects()
 	return st
+}
+
+// BudgetTracker exposes the per-frame budget attribution state (nil
+// unless the client was dialed with a Tracer).
+func (c *Client) BudgetTracker() *obs.BudgetTracker { return c.budget }
+
+// PublishMetrics registers the client's counters with an observability
+// registry as live read-through functions; every scrape reports exactly
+// what Stats would return at that instant.
+func (c *Client) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	for _, m := range []struct {
+		name string
+		get  func(ClientStats) int64
+	}{
+		{"mar_rpc_client_calls_total", func(s ClientStats) int64 { return s.Calls }},
+		{"mar_rpc_client_timeouts_total", func(s ClientStats) int64 { return s.Timeouts }},
+		{"mar_rpc_client_shed_total", func(s ClientStats) int64 { return s.ShedCalls }},
+		{"mar_rpc_client_retries_total", func(s ClientStats) int64 { return s.Retries }},
+		{"mar_rpc_client_hedges_total", func(s ClientStats) int64 { return s.Hedges }},
+		{"mar_rpc_client_hedge_wins_total", func(s ClientStats) int64 { return s.HedgeWins }},
+		{"mar_rpc_client_breaker_fast_fails_total", func(s ClientStats) int64 { return s.BreakerFastFails }},
+		{"mar_rpc_client_breaker_opens_total", func(s ClientStats) int64 { return s.BreakerOpens }},
+		{"mar_rpc_client_reconnects_total", func(s ClientStats) int64 { return s.Reconnects }},
+		{"mar_rpc_client_degraded_total", func(s ClientStats) int64 { return s.Degraded }},
+		{"mar_rpc_client_server_sheds_total", func(s ClientStats) int64 { return s.ServerSheds }},
+		{"mar_rpc_client_server_expired_total", func(s ClientStats) int64 { return s.ServerExpired }},
+		{"mar_rpc_client_server_cannot_finish_total", func(s ClientStats) int64 { return s.ServerCannotFinish }},
+		{"mar_rpc_client_server_draining_total", func(s ClientStats) int64 { return s.ServerDraining }},
+	} {
+		get := m.get
+		reg.CounterFunc(m.name, func() int64 { return get(c.Stats()) }, labels...)
+	}
+	reg.GaugeFunc("mar_rpc_client_srtt_seconds", func() float64 {
+		if conn := c.sess.Conn(); conn != nil {
+			return conn.SRTT().Seconds()
+		}
+		return 0
+	}, labels...)
 }
 
 // BreakerOpen reports whether the circuit breaker is currently rejecting
@@ -623,9 +785,18 @@ func (c *Client) onMessage(m wire.Message) {
 		return
 	}
 	id := binary.LittleEndian.Uint64(m.Payload)
+	body := m.Payload[respHeader:]
+	var queued, service time.Duration
+	if m.TraceID != 0 && len(body) >= traceTrailer {
+		queued = time.Duration(binary.LittleEndian.Uint32(body)) * time.Microsecond
+		service = time.Duration(binary.LittleEndian.Uint32(body[4:])) * time.Microsecond
+		body = body[traceTrailer:]
+	}
 	res := callResult{
 		status:  m.Payload[9],
-		payload: append([]byte(nil), m.Payload[respHeader:]...),
+		payload: append([]byte(nil), body...),
+		queued:  queued,
+		service: service,
 	}
 	if res.status == statusDraining {
 		c.markDraining()
@@ -642,8 +813,9 @@ func (c *Client) onMessage(m wire.Message) {
 }
 
 // launch registers a call id and sends the request once, stamping the
-// priority and the remaining deadline budget into the header.
-func (c *Client) launch(method uint8, req []byte, prio core.Priority, budget time.Duration) (uint64, chan callResult, error) {
+// priority and the remaining deadline budget into the header. When span
+// is non-nil the request frame carries its trace context (wire v3).
+func (c *Client) launch(method uint8, req []byte, prio core.Priority, budget time.Duration, span *obs.Span) (uint64, chan callResult, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -669,7 +841,11 @@ func (c *Client) launch(method uint8, req []byte, prio core.Priority, budget tim
 	binary.LittleEndian.PutUint32(buf[10:14], uint32(us))
 	copy(buf[reqHeader:], req)
 
-	ok, err := c.sess.Send(reqStream, buf)
+	var traceID, spanID uint64
+	if span != nil {
+		traceID, spanID = uint64(span.Trace), uint64(span.ID)
+	}
+	ok, err := c.sess.SendTraced(reqStream, buf, traceID, spanID)
 	if err != nil || !ok {
 		c.unregister(id)
 		if err != nil {
@@ -725,12 +901,24 @@ func (c *Client) resolve(res callResult) ([]byte, error) {
 	}
 }
 
+// attemptInfo is what budget attribution needs from the winning attempt:
+// its request→response round trip as seen by the client, and the
+// server-measured queue/service split from the timing trailer (zero on
+// untraced or refused exchanges).
+type attemptInfo struct {
+	rtt     time.Duration
+	queued  time.Duration
+	service time.Duration
+	hedged  bool // the hedged duplicate produced the winning response
+}
+
 // attempt performs one (possibly hedged) request/response exchange.
-func (c *Client) attempt(method uint8, req []byte, prio core.Priority, timeout time.Duration) ([]byte, error) {
+func (c *Client) attempt(method uint8, req []byte, prio core.Priority, timeout time.Duration, span *obs.Span) ([]byte, attemptInfo, error) {
 	start := time.Now()
-	id1, ch1, err := c.launch(method, req, prio, timeout)
+	var info attemptInfo
+	id1, ch1, err := c.launch(method, req, prio, timeout, span)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	defer c.unregister(id1)
 
@@ -744,6 +932,7 @@ func (c *Client) attempt(method uint8, req []byte, prio core.Priority, timeout t
 	}
 	var id2 uint64
 	var ch2 chan callResult
+	var hstart time.Time
 	defer func() {
 		if id2 != 0 {
 			c.unregister(id2)
@@ -756,30 +945,37 @@ func (c *Client) attempt(method uint8, req []byte, prio core.Priority, timeout t
 		select {
 		case res, open := <-ch1:
 			if !open {
-				return nil, ErrClosed
+				return nil, info, ErrClosed
 			}
-			return c.resolve(res)
+			info.rtt = time.Since(start)
+			info.queued, info.service = res.queued, res.service
+			resp, rerr := c.resolve(res)
+			return resp, info, rerr
 		case res, open := <-ch2:
 			if !open {
-				return nil, ErrClosed
+				return nil, info, ErrClosed
 			}
+			info.rtt = time.Since(hstart)
+			info.queued, info.service = res.queued, res.service
+			info.hedged = true
 			resp, rerr := c.resolve(res)
 			if rerr == nil {
 				c.mu.Lock()
 				c.stats.HedgeWins++
 				c.mu.Unlock()
 			}
-			return resp, rerr
+			return resp, info, rerr
 		case <-hedgeC:
 			hedgeC = nil
-			if hid, hch, herr := c.launch(method, req, prio, timeout-time.Since(start)); herr == nil {
+			if hid, hch, herr := c.launch(method, req, prio, timeout-time.Since(start), span); herr == nil {
 				id2, ch2 = hid, hch
+				hstart = time.Now()
 				c.mu.Lock()
 				c.stats.Hedges++
 				c.mu.Unlock()
 			}
 		case <-overall.C:
-			return nil, fmt.Errorf("%w after %v", ErrDeadline, timeout)
+			return nil, info, fmt.Errorf("%w after %v", ErrDeadline, timeout)
 		}
 	}
 }
@@ -799,7 +995,7 @@ func (c *Client) hedgeDelay(timeout time.Duration) time.Duration {
 // control. A draining answer is cached so subsequent failover decisions
 // steer away without a round trip.
 func (c *Client) Probe(timeout time.Duration) (overload.Probe, error) {
-	payload, err := c.attempt(MethodProbe, nil, c.cfg.Priority, timeout)
+	payload, _, err := c.attempt(MethodProbe, nil, c.cfg.Priority, timeout, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -846,8 +1042,11 @@ func (c *Client) CallPri(method uint8, req []byte, prio core.Priority, deadline 
 	if attempts < 1 {
 		attempts = 1
 	}
+	span := c.cfg.Tracer.StartTrace("call")
 	start := time.Now()
 	var lastErr error
+	var lastInfo attemptInfo
+	used := 0
 	for a := 0; a < attempts; a++ {
 		remaining := deadline - time.Since(start)
 		if remaining <= 0 {
@@ -858,10 +1057,13 @@ func (c *Client) CallPri(method uint8, req []byte, prio core.Priority, deadline 
 		}
 		per := remaining / time.Duration(attempts-a)
 		t0 := time.Now()
-		resp, err := c.attempt(method, req, prio, per)
+		resp, info, err := c.attempt(method, req, prio, per, span)
+		used = a + 1
+		lastInfo = info
 		if err == nil {
 			c.lat.record(time.Since(t0))
 			c.breaker.record(true, time.Now())
+			c.finishCall(span, info, time.Since(start), used)
 			return resp, nil
 		}
 		lastErr = err
@@ -901,5 +1103,69 @@ func (c *Client) CallPri(method uint8, req []byte, prio core.Priority, deadline 
 		c.stats.Timeouts++
 		c.mu.Unlock()
 	}
+	// Failed calls still produce a report: a refused final attempt carries
+	// the server's queue wait; a timed-out one attributes everything to
+	// overhead. Blown frames that never complete must not vanish from the
+	// budget accounting.
+	c.finishCall(span, lastInfo, time.Since(start), used)
 	return nil, lastErr
+}
+
+// finishCall closes a traced call's span and converts its measured
+// timings into an obs.BudgetReport. The attribution is built so the six
+// stages sum exactly to the call's total duration:
+//
+//	overhead  = total − winning attempt's round trip (failed attempts,
+//	            retry backoff, hedge head start — all measured)
+//	queue     = server-reported queue wait   (timing trailer)
+//	compute   = server-reported service time (timing trailer)
+//	net       = min(SRTT, what remains of the round trip), split evenly
+//	            into net_up and net_down
+//	serialize = the rest: pacing, serialization, scheduling slack
+func (c *Client) finishCall(span *obs.Span, win attemptInfo, total time.Duration, attempts int) {
+	if span == nil {
+		return
+	}
+	r := obs.BudgetReport{
+		Trace:    span.Trace,
+		Budget:   c.cfg.Budget,
+		Total:    total,
+		Queue:    win.queued,
+		Compute:  win.service,
+		Attempts: attempts,
+		Hedged:   win.hedged,
+	}
+	// No response at all (timeout): the whole call is overhead — there is
+	// no attempt round trip to attribute stages inside of.
+	overhead := total
+	if win.rtt > 0 && win.rtt <= total {
+		overhead = total - win.rtt
+	}
+	r.Overhead = overhead
+	// Clamp the server-reported stages into the measured envelope so the
+	// sum stays exact even when clock coarseness disagrees across hosts.
+	remain := total - overhead
+	if r.Queue > remain {
+		r.Queue = remain
+	}
+	remain -= r.Queue
+	if r.Compute > remain {
+		r.Compute = remain
+	}
+	remain -= r.Compute
+	netEst := time.Duration(0)
+	if conn := c.sess.Conn(); conn != nil {
+		netEst = conn.SRTT()
+	}
+	if netEst > remain {
+		netEst = remain
+	}
+	r.NetUp = netEst / 2
+	r.NetDown = netEst - netEst/2
+	r.Serialize = remain - netEst
+	for _, st := range r.Stages() {
+		span.Stage(st.Name, st.Dur)
+	}
+	span.Finish()
+	c.budget.Observe(r)
 }

@@ -1,0 +1,30 @@
+package simnet
+
+import "marnet/internal/obs"
+
+// PublishMetrics registers the link's counters with an observability
+// registry as live read-through functions mirroring Stats. The simulator
+// is single-threaded: gather (or scrape) either between Run calls or
+// after the run, not concurrently with event execution.
+func (l *Link) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	for _, m := range []struct {
+		name string
+		get  func(LinkStats) int64
+	}{
+		{"mar_link_sent_packets_total", func(s LinkStats) int64 { return s.SentPackets }},
+		{"mar_link_sent_bytes_total", func(s LinkStats) int64 { return s.SentBytes }},
+		{"mar_link_delivered_total", func(s LinkStats) int64 { return s.Delivered }},
+		{"mar_link_lost_packets_total", func(s LinkStats) int64 { return s.LostPackets }},
+		{"mar_link_queue_drops_total", func(s LinkStats) int64 { return s.QueueDrops }},
+		{"mar_link_filter_drops_total", func(s LinkStats) int64 { return s.FilterDrops }},
+		{"mar_link_filter_dups_total", func(s LinkStats) int64 { return s.FilterDups }},
+	} {
+		get := m.get
+		reg.CounterFunc(m.name, func() int64 { return get(l.Stats()) }, labels...)
+	}
+	reg.GaugeFunc("mar_link_max_queue_len", func() float64 { return float64(l.Stats().MaxQueueLen) }, labels...)
+	reg.GaugeFunc("mar_link_max_queue_bytes", func() float64 { return float64(l.Stats().MaxQueueByte) }, labels...)
+}

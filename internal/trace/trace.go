@@ -155,22 +155,32 @@ func (d *DurStats) Max() time.Duration {
 	return d.samples[len(d.samples)-1]
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) using the
-// nearest-rank method. It returns 0 when the set is empty.
+// Percentile returns the p-th percentile using the nearest-rank method.
+// It returns 0 when the set is empty; p is clamped into [0, 100], with
+// NaN treated as 0, so out-of-range requests degrade to Min/Max instead
+// of panicking.
 func (d *DurStats) Percentile(p float64) time.Duration {
-	if len(d.samples) == 0 {
+	n := len(d.samples)
+	if n == 0 {
 		return 0
 	}
 	d.sort()
-	if p <= 0 {
+	if math.IsNaN(p) || p <= 0 {
 		return d.samples[0]
 	}
 	if p >= 100 {
-		return d.samples[len(d.samples)-1]
+		return d.samples[n-1]
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(d.samples))))
+	// Multiply before dividing: p/100 is inexact for most p, and e.g.
+	// 7.0/100*100 = 7.000000000000001 would round the rank up a slot,
+	// while 7*100/100 stays exact. Clamp both ends anyway so float
+	// rounding near the boundaries can never index out of range.
+	rank := int(math.Ceil(p * float64(n) / 100))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > n {
+		rank = n
 	}
 	return d.samples[rank-1]
 }

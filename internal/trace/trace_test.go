@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -148,6 +150,60 @@ func TestDurStatsPercentileProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Single-sample edges: every p — including NaN and out-of-range — must
+// return the one sample without panicking.
+func TestDurStatsPercentileSingleSample(t *testing.T) {
+	var d DurStats
+	d.Observe(7 * time.Millisecond)
+	for _, p := range []float64{math.NaN(), math.Inf(-1), -5, 0, 0.001, 50, 99.999, 100, 250, math.Inf(1)} {
+		if got := d.Percentile(p); got != 7*time.Millisecond {
+			t.Errorf("Percentile(%v) = %v, want 7ms", p, got)
+		}
+	}
+}
+
+// Percentile must agree with a sort-based exact nearest-rank reference.
+// The reference avoids float division entirely: the nearest rank for an
+// integer percentile p over n samples is the smallest k with 100k >= pn,
+// which is exact in integer arithmetic.
+func TestDurStatsPercentileMatchesExact(t *testing.T) {
+	exact := func(sorted []time.Duration, p int) time.Duration {
+		n := len(sorted)
+		if p <= 0 {
+			return sorted[0]
+		}
+		for k := 1; k <= n; k++ {
+			if 100*k >= p*n {
+				return sorted[k-1]
+			}
+		}
+		return sorted[n-1]
+	}
+	f := func(raw []uint16, extra uint8) bool {
+		if len(raw) == 0 {
+			raw = []uint16{uint16(extra)}
+		}
+		var d DurStats
+		sorted := make([]time.Duration, 0, len(raw))
+		for _, r := range raw {
+			v := time.Duration(r) * time.Microsecond
+			d.Observe(v)
+			sorted = append(sorted, v)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for p := 0; p <= 100; p++ {
+			if got, want := d.Percentile(float64(p)), exact(sorted, p); got != want {
+				t.Logf("n=%d p=%d: got %v, exact %v", len(sorted), p, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
 		t.Fatal(err)
 	}
 }

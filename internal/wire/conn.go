@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"marnet/internal/core"
+	"marnet/internal/obs"
 )
 
 // ErrClosed is returned by operations on a closed Conn.
@@ -33,6 +35,11 @@ type Message struct {
 	// Peer is the remote address the datagram came from (useful behind a
 	// Mux, where one handler may serve many peers).
 	Peer *net.UDPAddr
+	// TraceID/SpanID carry the sender's trace context when the frame was
+	// traced (wire v3); both are zero for untraced frames. SpanID names
+	// the sender's span — the parent of any span the receiver starts.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // State is the liveness of a connection's peer as judged by keepalive.
@@ -95,6 +102,10 @@ type wpending struct {
 	lastSent time.Time
 	retx     int
 	queued   bool
+	// Trace context rides with the pending record so retransmits carry
+	// the same ids as the original transmission.
+	traceID uint64
+	spanID  uint64
 }
 
 type wstream struct {
@@ -409,6 +420,14 @@ func (c *Conn) reallocateLocked() {
 // the datagram was admitted (false = shed by graceful degradation) and
 // errors only on misuse or closed connections.
 func (c *Conn) Send(streamID uint16, payload []byte) (bool, error) {
+	return c.SendTraced(streamID, payload, 0, 0)
+}
+
+// SendTraced is Send with trace context attached: when traceID is
+// nonzero the frame (and any retransmission of it) is encoded as wire
+// v3 carrying the ids, so the receiver can stitch its span onto the
+// sender's trace. SendTraced(id, p, 0, 0) is exactly Send(id, p).
+func (c *Conn) SendTraced(streamID uint16, payload []byte, traceID, spanID uint64) (bool, error) {
 	if len(payload) > maxPlain(c.sealer != nil) {
 		return false, fmt.Errorf("%w (%d bytes)", ErrOversize, len(payload))
 	}
@@ -440,23 +459,25 @@ func (c *Conn) Send(streamID uint16, payload []byte) (bool, error) {
 	st.nextSeq++
 	buf := append([]byte(nil), payload...)
 	if st.spec.Class != core.ClassFullBestEffort {
-		pp := &wpending{payload: buf, class: st.spec.Class, queued: true}
+		pp := &wpending{payload: buf, class: st.spec.Class, queued: true, traceID: traceID, spanID: spanID}
 		if st.spec.Deadline > 0 {
 			pp.deadline = now.Add(st.spec.Deadline)
 		}
 		st.outstanding[seq] = pp
 	}
-	c.enqueueLocked(st, seq, buf)
+	c.enqueueLocked(st, seq, buf, traceID, spanID)
 	return true, nil
 }
 
-func (c *Conn) enqueueLocked(st *wstream, seq int64, payload []byte) {
+func (c *Conn) enqueueLocked(st *wstream, seq int64, payload []byte, traceID, spanID uint64) {
 	hdr := Header{
-		Type:   TypeData,
-		Stream: st.spec.ID,
-		Class:  uint8(st.spec.Class),
-		Prio:   uint8(st.spec.Priority),
-		Seq:    seq,
+		Type:    TypeData,
+		Stream:  st.spec.ID,
+		Class:   uint8(st.spec.Class),
+		Prio:    uint8(st.spec.Priority),
+		Seq:     seq,
+		TraceID: traceID,
+		SpanID:  spanID,
 	}
 	band := st.spec.Priority.Band()
 	c.bands[band] = append(c.bands[band], outFrame{hdr: hdr, payload: payload})
@@ -649,7 +670,11 @@ func (c *Conn) onDataLocked(hdr Header, payload []byte) {
 		}
 	}
 	if c.cfg.OnMessage != nil {
-		msg := Message{Stream: hdr.Stream, Seq: hdr.Seq, Payload: append([]byte(nil), payload...), Peer: c.peer}
+		msg := Message{
+			Stream: hdr.Stream, Seq: hdr.Seq,
+			Payload: append([]byte(nil), payload...), Peer: c.peer,
+			TraceID: hdr.TraceID, SpanID: hdr.SpanID,
+		}
 		// Deliver without holding the lock.
 		c.mu.Unlock()
 		c.cfg.OnMessage(msg)
@@ -724,7 +749,7 @@ func (c *Conn) onLostLocked(st *wstream, seq int64, pp *wpending) {
 	pp.retx++
 	pp.queued = true
 	st.retx++
-	c.enqueueLocked(st, seq, pp.payload)
+	c.enqueueLocked(st, seq, pp.payload, pp.traceID, pp.spanID)
 }
 
 // sweepLoop retransmits reliable tail losses that produce no gap signal.
@@ -762,6 +787,18 @@ func (c *Conn) sweepLoop() {
 type StreamStats struct {
 	Sent, Shed, Retx, Received, Duplicates int64
 	Allocated                              float64
+}
+
+// snapshot copies the stream counters field by field; every StreamStats
+// produced anywhere in the package goes through this one helper so the
+// snapshot cannot drift out of sync with the counter set. The caller
+// must hold the owning Conn's mu.
+func (st *wstream) snapshot() StreamStats {
+	return StreamStats{
+		Sent: st.sent, Shed: st.shed, Retx: st.retx,
+		Received: st.recvd, Duplicates: st.dups,
+		Allocated: st.allocated,
+	}
 }
 
 // AuthFailureCount reports how many sealed frames failed authentication
@@ -806,9 +843,42 @@ func (c *Conn) Stats(streamID uint16) StreamStats {
 	if !ok {
 		return StreamStats{}
 	}
-	return StreamStats{
-		Sent: st.sent, Shed: st.shed, Retx: st.retx,
-		Received: st.recvd, Duplicates: st.dups,
-		Allocated: st.allocated,
+	return st.snapshot()
+}
+
+// PublishMetrics registers the connection's counters with an
+// observability registry as live read-through functions: every scrape
+// sees exactly what Stats would return at that instant. Per-stream
+// counters get a stream="<id>" label on top of the caller's labels.
+// Streams learned from the peer after this call are not covered;
+// call again to pick them up.
+func (c *Conn) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("mar_wire_frames_sent_total", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.SentFrames
+	}, labels...)
+	reg.CounterFunc("mar_wire_auth_failures_total", c.AuthFailureCount, labels...)
+	reg.GaugeFunc("mar_wire_srtt_seconds", func() float64 { return c.SRTT().Seconds() }, labels...)
+	reg.GaugeFunc("mar_wire_budget_bps", c.Budget, labels...)
+
+	c.mu.Lock()
+	ids := make([]uint16, 0, len(c.streams))
+	for id := range c.streams {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	for _, id := range ids {
+		id := id
+		ls := append(append([]obs.Label(nil), labels...), obs.L("stream", strconv.Itoa(int(id))))
+		reg.CounterFunc("mar_wire_stream_sent_total", func() int64 { return c.Stats(id).Sent }, ls...)
+		reg.CounterFunc("mar_wire_stream_shed_total", func() int64 { return c.Stats(id).Shed }, ls...)
+		reg.CounterFunc("mar_wire_stream_retx_total", func() int64 { return c.Stats(id).Retx }, ls...)
+		reg.CounterFunc("mar_wire_stream_received_total", func() int64 { return c.Stats(id).Received }, ls...)
+		reg.CounterFunc("mar_wire_stream_duplicates_total", func() int64 { return c.Stats(id).Duplicates }, ls...)
+		reg.GaugeFunc("mar_wire_stream_allocated_bps", func() float64 { return c.Stats(id).Allocated }, ls...)
 	}
 }

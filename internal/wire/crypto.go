@@ -51,15 +51,18 @@ func newSealer(key []byte) (*sealer, error) {
 }
 
 // headerAAD renders the header bytes used as associated data. It must
-// match the first HeaderLen bytes of the final frame except the payload
-// length field (which describes the sealed length and is therefore written
-// after sealing); the length is excluded from authentication.
+// match the header bytes of the final frame except the payload length
+// field (which describes the sealed length and is therefore written
+// after sealing); the length is excluded from authentication. Both the
+// legacy and the traced layouts keep the payload length as the last two
+// header bytes, so stripping them works for every version — and on v3
+// frames the trace ids are authenticated along with the rest.
 func headerAAD(h Header) []byte {
 	frame, err := AppendFrame(nil, h, nil)
 	if err != nil {
 		return nil
 	}
-	return frame[:HeaderLen-2] // strip the 2-byte payload length
+	return frame[:headerLen(h)-2] // strip the 2-byte payload length
 }
 
 // seal encrypts payload under a fresh random nonce, binding the header.

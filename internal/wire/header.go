@@ -5,11 +5,12 @@
 // application level, making it easier to integrate in applications as an
 // external library".
 //
-// The wire format is a fixed little-endian header followed by the payload:
+// The wire format is a fixed little-endian header followed by the payload.
+// Versions 1 and 2 share the 26-byte legacy layout:
 //
 //	off size field
 //	0   2    magic 0xAR7P (0xA27B)
-//	2   1    version (1)
+//	2   1    version (1 or 2)
 //	3   1    frame type
 //	4   2    stream id
 //	6   1    class
@@ -18,6 +19,22 @@
 //	16  8    send timestamp, microseconds since the conn epoch
 //	24  2    payload length
 //	26  ...  payload
+//
+// Version 3 extends the header with trace context for cross-host frame
+// tracing. The payload length stays the LAST two header bytes so that
+// sealing (which authenticates everything before the payload length) is
+// layout-independent:
+//
+//	0   24   identical to the legacy prefix (version byte = 3)
+//	24  8    trace id
+//	32  8    span id of the sender's span (parent for the receiver)
+//	40  2    payload length
+//	42  ...  payload
+//
+// Encoders emit version 3 only when a frame actually carries trace
+// context; untraced frames remain byte-identical to version 1, so a v3
+// sender interoperates with a legacy decoder until tracing is switched
+// on. Decoders accept all three versions.
 //
 // ACK frames reuse the header with the acked stream/seq and echo the data
 // frame's send timestamp in the timestamp field. NACK frames carry a list
@@ -44,11 +61,22 @@ const (
 
 // Codec constants.
 const (
-	Magic      = 0xA27B
-	Version    = 1
-	HeaderLen  = 26
-	MaxPayload = 1200 // keeps frames under typical path MTU
+	Magic           = 0xA27B
+	Version         = 1
+	VersionTraced   = 3
+	HeaderLen       = 26 // legacy (v1/v2) header length
+	HeaderLenTraced = 42 // v3 header length: legacy prefix + trace ids
+	MaxPayload      = 1200 // keeps frames under typical path MTU
 )
+
+// headerLen returns the encoded header length for a header's wire
+// version, which is determined by whether it carries trace context.
+func headerLen(h Header) int {
+	if h.TraceID|h.SpanID != 0 {
+		return HeaderLenTraced
+	}
+	return HeaderLen
+}
 
 // Codec errors.
 var (
@@ -60,7 +88,10 @@ var (
 	ErrTruncated  = errors.New("wire: payload truncated")
 )
 
-// Header is the decoded fixed header.
+// Header is the decoded fixed header. TraceID and SpanID are zero on
+// untraced (v1/v2) frames; a nonzero TraceID marks the frame as part of
+// a distributed trace and SpanID names the sender's span, which becomes
+// the parent of any span the receiver starts for this frame.
 type Header struct {
 	Type       uint8
 	Stream     uint16
@@ -69,10 +100,13 @@ type Header struct {
 	Seq        int64
 	SendMicro  uint64
 	PayloadLen uint16
+	TraceID    uint64
+	SpanID     uint64
 }
 
 // AppendFrame serializes a frame (header + payload) into dst and returns
-// the extended slice.
+// the extended slice. Frames with trace context encode as version 3;
+// untraced frames stay byte-identical to version 1.
 func AppendFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return dst, fmt.Errorf("%w: %d bytes", ErrOversize, len(payload))
@@ -82,7 +116,7 @@ func AppendFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadType, h.Type)
 	}
-	var hdr [HeaderLen]byte
+	var hdr [HeaderLenTraced]byte
 	binary.LittleEndian.PutUint16(hdr[0:], Magic)
 	hdr[2] = Version
 	hdr[3] = h.Type
@@ -91,14 +125,21 @@ func AppendFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
 	hdr[7] = h.Prio
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(h.Seq))
 	binary.LittleEndian.PutUint64(hdr[16:], h.SendMicro)
-	binary.LittleEndian.PutUint16(hdr[24:], uint16(len(payload)))
-	dst = append(dst, hdr[:]...)
+	n := headerLen(h)
+	if n == HeaderLenTraced {
+		hdr[2] = VersionTraced
+		binary.LittleEndian.PutUint64(hdr[24:], h.TraceID)
+		binary.LittleEndian.PutUint64(hdr[32:], h.SpanID)
+	}
+	binary.LittleEndian.PutUint16(hdr[n-2:], uint16(len(payload)))
+	dst = append(dst, hdr[:n]...)
 	dst = append(dst, payload...)
 	return dst, nil
 }
 
 // DecodeFrame parses one frame from buf, returning the header and a
-// subslice of buf holding the payload.
+// subslice of buf holding the payload. Versions 1 and 2 decode as the
+// legacy 26-byte layout; version 3 additionally yields trace context.
 func DecodeFrame(buf []byte) (Header, []byte, error) {
 	if len(buf) < HeaderLen {
 		return Header{}, nil, ErrShortFrame
@@ -106,28 +147,40 @@ func DecodeFrame(buf []byte) (Header, []byte, error) {
 	if binary.LittleEndian.Uint16(buf[0:]) != Magic {
 		return Header{}, nil, ErrBadMagic
 	}
-	if buf[2] != Version {
+	hlen := HeaderLen
+	switch buf[2] {
+	case 1, 2:
+	case VersionTraced:
+		hlen = HeaderLenTraced
+		if len(buf) < hlen {
+			return Header{}, nil, ErrShortFrame
+		}
+	default:
 		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
 	}
 	h := Header{
-		Type:       buf[3],
-		Stream:     binary.LittleEndian.Uint16(buf[4:]),
-		Class:      buf[6],
-		Prio:       buf[7],
-		Seq:        int64(binary.LittleEndian.Uint64(buf[8:])),
-		SendMicro:  binary.LittleEndian.Uint64(buf[16:]),
-		PayloadLen: binary.LittleEndian.Uint16(buf[24:]),
+		Type:      buf[3],
+		Stream:    binary.LittleEndian.Uint16(buf[4:]),
+		Class:     buf[6],
+		Prio:      buf[7],
+		Seq:       int64(binary.LittleEndian.Uint64(buf[8:])),
+		SendMicro: binary.LittleEndian.Uint64(buf[16:]),
 	}
+	if hlen == HeaderLenTraced {
+		h.TraceID = binary.LittleEndian.Uint64(buf[24:])
+		h.SpanID = binary.LittleEndian.Uint64(buf[32:])
+	}
+	h.PayloadLen = binary.LittleEndian.Uint16(buf[hlen-2:])
 	switch h.Type {
 	case TypeData, TypeAck, TypeNack, TypePing, TypePong:
 	default:
 		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadType, h.Type)
 	}
-	end := HeaderLen + int(h.PayloadLen)
+	end := hlen + int(h.PayloadLen)
 	if len(buf) < end {
 		return Header{}, nil, ErrTruncated
 	}
-	return h, buf[HeaderLen:end], nil
+	return h, buf[hlen:end], nil
 }
 
 // EncodeNackPayload serializes a list of missing sequence numbers.

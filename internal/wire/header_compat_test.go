@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"marnet/internal/core"
+)
+
+// encodeLegacy hand-rolls the 26-byte v1/v2 layout so the compat tests do
+// not depend on AppendFrame's version selection.
+func encodeLegacy(version uint8, h Header, payload []byte) []byte {
+	buf := make([]byte, HeaderLen+len(payload))
+	binary.LittleEndian.PutUint16(buf[0:], Magic)
+	buf[2] = version
+	buf[3] = h.Type
+	binary.LittleEndian.PutUint16(buf[4:], h.Stream)
+	buf[6] = h.Class
+	buf[7] = h.Prio
+	binary.LittleEndian.PutUint64(buf[8:], uint64(h.Seq))
+	binary.LittleEndian.PutUint64(buf[16:], h.SendMicro)
+	binary.LittleEndian.PutUint16(buf[24:], uint16(len(payload)))
+	copy(buf[HeaderLen:], payload)
+	return buf
+}
+
+// TestDecodeLegacyVersions: a v3-capable decoder accepts frames from v1
+// and v2 senders unchanged (zero trace context).
+func TestDecodeLegacyVersions(t *testing.T) {
+	want := Header{Type: TypeData, Stream: 9, Class: 1, Prio: 2, Seq: 77, SendMicro: 5555, PayloadLen: 5}
+	for _, version := range []uint8{1, 2} {
+		frame := encodeLegacy(version, want, []byte("hello"))
+		h, payload, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("v%d decode: %v", version, err)
+		}
+		if h != want {
+			t.Fatalf("v%d header = %+v, want %+v", version, h, want)
+		}
+		if h.TraceID != 0 || h.SpanID != 0 {
+			t.Fatalf("v%d frame must carry no trace context: %+v", version, h)
+		}
+		if string(payload) != "hello" {
+			t.Fatalf("v%d payload = %q", version, payload)
+		}
+	}
+}
+
+// TestUntracedEncodesAsV1: a v3-capable sender without trace context emits
+// bytes a legacy (v1-only) decoder would accept — byte-identical to v1.
+func TestUntracedEncodesAsV1(t *testing.T) {
+	h := Header{Type: TypeAck, Stream: 3, Seq: 12, SendMicro: 900}
+	frame, err := AppendFrame(nil, h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := encodeLegacy(Version, h, nil)
+	if !bytes.Equal(frame, legacy) {
+		t.Fatalf("untraced v3-capable encoding differs from v1:\n got %x\nwant %x", frame, legacy)
+	}
+	if frame[2] != Version {
+		t.Fatalf("version byte = %d, want %d", frame[2], Version)
+	}
+}
+
+// TestTracedRoundTrip: trace context survives encode/decode and flips the
+// version byte to 3 with the 42-byte layout.
+func TestTracedRoundTrip(t *testing.T) {
+	h := Header{
+		Type: TypeData, Stream: 16, Class: 2, Prio: 1, Seq: 1000, SendMicro: 42,
+		TraceID: 0xABCDEF, SpanID: 0x123456,
+	}
+	frame, err := AppendFrame(nil, h, []byte("req"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != VersionTraced {
+		t.Fatalf("version byte = %d, want %d", frame[2], VersionTraced)
+	}
+	if len(frame) != HeaderLenTraced+3 {
+		t.Fatalf("frame length = %d, want %d", len(frame), HeaderLenTraced+3)
+	}
+	got, payload, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.PayloadLen = 3
+	if got != h || string(payload) != "req" {
+		t.Fatalf("round trip: got %+v %q, want %+v", got, payload, h)
+	}
+}
+
+// TestTracedSealedRoundTrip: the AAD construction must cover the v3
+// header (including trace ids), and tampering with a trace id must fail
+// authentication.
+func TestTracedSealedRoundTrip(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 16)
+	s, err := newSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Header{Type: TypeData, Stream: 16, Seq: 5, TraceID: 111, SpanID: 222}
+	sealed, err := s.seal(h, []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.open(h, sealed)
+	if err != nil || string(plain) != "secret" {
+		t.Fatalf("open = %q, %v", plain, err)
+	}
+	tampered := h
+	tampered.TraceID = 999
+	if _, err := s.open(tampered, sealed); err == nil {
+		t.Fatal("tampered trace id must fail authentication")
+	}
+	// Trace ids change the AAD length path too: an untraced header over
+	// the same payload must not authenticate.
+	untraced := h
+	untraced.TraceID, untraced.SpanID = 0, 0
+	if _, err := s.open(untraced, sealed); err == nil {
+		t.Fatal("stripping trace context must fail authentication")
+	}
+}
+
+// TestTracedConnDelivery: trace context crosses a real socket pair and
+// appears on the delivered Message; untraced sends deliver zero ids.
+func TestTracedConnDelivery(t *testing.T) {
+	specs := []StreamSpec{{ID: 1, Class: core.ClassCritical, Priority: core.PrioHighest, Rate: 1e6}}
+	got := make(chan Message, 4)
+	srv, err := Listen("127.0.0.1:0", Config{
+		Streams:   specs,
+		OnMessage: func(m Message) { got <- m },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.LocalAddr().String(), Config{Streams: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if _, err := cli.SendTraced(1, []byte("traced"), 42, 43); err != nil {
+		t.Fatal(err)
+	}
+	m := <-got
+	if m.TraceID != 42 || m.SpanID != 43 {
+		t.Fatalf("delivered trace context = %d/%d, want 42/43", m.TraceID, m.SpanID)
+	}
+	if _, err := cli.Send(1, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	m = <-got
+	if m.TraceID != 0 || m.SpanID != 0 {
+		t.Fatalf("untraced send delivered trace context: %d/%d", m.TraceID, m.SpanID)
+	}
+}

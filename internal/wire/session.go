@@ -210,11 +210,16 @@ func (s *Session) current() (*Conn, bool) {
 // replacement being installed) the send is reported as shed rather than
 // failing the session.
 func (s *Session) Send(streamID uint16, payload []byte) (bool, error) {
+	return s.SendTraced(streamID, payload, 0, 0)
+}
+
+// SendTraced is Send with trace context attached (see Conn.SendTraced).
+func (s *Session) SendTraced(streamID uint16, payload []byte, traceID, spanID uint64) (bool, error) {
 	conn, open := s.current()
 	if !open {
 		return false, ErrClosed
 	}
-	ok, err := conn.Send(streamID, payload)
+	ok, err := conn.SendTraced(streamID, payload, traceID, spanID)
 	if err == ErrClosed {
 		if _, stillOpen := s.current(); stillOpen {
 			return false, nil // mid-resume: degrade to shed
