@@ -1,17 +1,19 @@
 GO ?= go
 
 # Packages with real concurrency (goroutines + sockets) that must stay
-# race-clean; the rest of the tree is a single-threaded simulator.
-RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/... ./internal/obs/...
+# race-clean; the rest of the tree is a single-threaded simulator. marsim
+# rides along: its scenarios are single-threaded by design, and -race
+# proves the hosted stack shares no state with leaked goroutines.
+RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/... ./internal/obs/... ./internal/marsim/...
 
 # Per-fuzzer budget for the smoke pass wired into ci.
 FUZZTIME ?= 10s
 
-.PHONY: all ci vet build test race chaos overload fuzz bench-smoke clean
+.PHONY: all ci vet build test race sim chaos overload fuzz bench-smoke clean
 
 all: ci
 
-ci: vet build test race bench-smoke fuzz
+ci: vet build test race sim bench-smoke fuzz
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +26,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# The deterministic full-stack simulation suite: the 3-seed determinism
+# matrix, the virtual-clock scenario acceptance runs, and the 10-minute
+# time-compressed soak smoke, race-checked.
+sim:
+	$(GO) test -race -run 'TestDeterminismMatrix|TestSoakTimeCompression|TestHandoverScenario|TestCongestionScenario|TestPartitionResume|TestBudgetStagesSumToWallTime' -v ./internal/marsim/
 
 # The full chaos acceptance storm (skipped under -short), race-checked.
 chaos:

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"marnet/internal/vclock"
 )
 
 // Config configures a Relay: a seed for the impairment randomness, one
@@ -14,6 +16,12 @@ type Config struct {
 	Seed     int64
 	Up, Down DirConfig
 	Timeline []Event
+	// Clock is the relay's time source (default the system clock). Every
+	// timestamp the relay takes — engine decision times, delay-queue due
+	// times, timeline offsets — comes from this one source, so due-time
+	// arithmetic stays on the clock's monotonic reading and never mixes in
+	// a wall-clock step.
+	Clock vclock.Clock
 }
 
 // Relay is a UDP impairment middlebox: it forwards datagrams between a
@@ -35,6 +43,7 @@ type Relay struct {
 	closed    bool
 	swaps     int64
 
+	clock vclock.Clock
 	start time.Time
 	kick  chan struct{}
 	done  chan struct{}
@@ -52,11 +61,13 @@ func NewRelay(upstream string, cfg Config) (*Relay, error) {
 	if err != nil {
 		return nil, fmt.Errorf("faults: relay listen: %w", err)
 	}
+	clock := vclock.OrSystem(cfg.Clock)
 	r := &Relay{
 		sock:     sock,
 		upstream: uaddr,
 		wasUp:    map[string]bool{uaddr.String(): true},
-		start:    time.Now(),
+		clock:    clock,
+		start:    clock.Now(),
 		kick:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 	}
@@ -76,7 +87,7 @@ func NewRelay(upstream string, cfg Config) (*Relay, error) {
 func (r *Relay) Addr() string { return r.sock.LocalAddr().String() }
 
 // Elapsed reports time since the relay (and its timeline) started.
-func (r *Relay) Elapsed() time.Duration { return time.Since(r.start) }
+func (r *Relay) Elapsed() time.Duration { return r.clock.Since(r.start) }
 
 // SetUpstream redirects future client traffic to a new server address —
 // the real-socket version of a server restart or migration. Packets
@@ -207,7 +218,11 @@ func (r *Relay) readLoop() {
 		if err != nil {
 			return // closed
 		}
-		now := time.Since(r.start)
+		// One clock read per packet: the engine's elapsed-time decision and
+		// the delay-queue due time derive from the same instant, so a packet
+		// can never be stamped due before the decision that queued it.
+		nowT := r.clock.Now()
+		now := nowT.Sub(r.start)
 
 		r.mu.Lock()
 		if r.closed {
@@ -233,7 +248,7 @@ func (r *Relay) readLoop() {
 		if v.corrupt {
 			eng.corruptBit(pkt)
 		}
-		due := time.Now().Add(v.delay)
+		due := nowT.Add(v.delay)
 		r.pushLocked(&delayed{due: due, pkt: pkt, dst: dst})
 		if v.dup {
 			r.pushLocked(&delayed{due: due, pkt: append([]byte(nil), pkt...), dst: dst})
@@ -267,7 +282,11 @@ func (r *Relay) dispatchLoop() {
 		wait := time.Duration(-1)
 		if len(r.dq) > 0 {
 			head := r.dq[0]
-			if d := time.Until(head.due); d <= 0 {
+			// due carries the clock's monotonic reading; Sub against the
+			// same clock is immune to wall-clock steps between enqueue and
+			// dispatch (time.Until would be too, but only by accident of
+			// both readings carrying monotonic parts).
+			if d := head.due.Sub(r.clock.Now()); d <= 0 {
 				item = heap.Pop(&r.dq).(*delayed)
 			} else {
 				wait = d
@@ -303,7 +322,7 @@ func (r *Relay) dispatchLoop() {
 func (r *Relay) timelineLoop(events []Event) {
 	defer r.wg.Done()
 	for _, ev := range events {
-		if wait := time.Until(r.start.Add(ev.At)); wait > 0 {
+		if wait := r.start.Add(ev.At).Sub(r.clock.Now()); wait > 0 {
 			timer := time.NewTimer(wait)
 			select {
 			case <-timer.C:

@@ -1,0 +1,74 @@
+package marsim
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/core"
+	"marnet/internal/obs"
+	"marnet/internal/phy"
+	"marnet/internal/rpc"
+)
+
+// TestBudgetStagesSumToWallTime is the budget-attribution invariant on
+// virtual time: every finished call's BudgetReport must split its
+// end-to-end latency into stages that sum EXACTLY to the measured total —
+// and the totals themselves are exact virtual durations, so the whole
+// 75 ms-budget accounting chain is verified without wall-clock noise.
+func TestBudgetStagesSumToWallTime(t *testing.T) {
+	s := NewScenario("budget-attribution", 5)
+	srv, serverEp, err := simServer(s, 8*time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := s.Net.NewHost("mobile", phy.LTE)
+	tracer := obs.NewTracer(256, 1)
+	cl, err := rpc.Dial("sim://server", rpc.ClientConfig{
+		Clock:  s.Clock,
+		Dialer: host.Dialer(serverEp),
+		Seed:   6,
+		Retry:  rpc.RetryPolicy{Max: 2},
+		Tracer: tracer,
+		Budget: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := startWorkload(s, cl, core.PrioHighest, 500, 100*time.Millisecond, 500*time.Millisecond)
+	s.Defer(func() { srv.Close() })
+	s.Defer(func() { w.stop(); cl.Close() })
+	if err := s.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	reports := cl.BudgetTracker().Reports()
+	if len(reports) == 0 {
+		t.Fatal("no budget reports produced")
+	}
+	for i, r := range reports {
+		if r.Sum() != r.Total {
+			t.Errorf("report %d: stages sum to %v but total is %v\n%s", i, r.Sum(), r.Total, r)
+		}
+	}
+	// LTE RTT is ~86 ms + jitter: with the server's 8 ms modeled service
+	// every completed call's virtual total must sit above the physical
+	// floor. (A call cancelled by teardown at the exact horizon instant can
+	// legitimately report 0s — it never went anywhere.)
+	var min, completed = time.Duration(0), 0
+	for _, r := range reports {
+		if r.Total == 0 {
+			continue
+		}
+		completed++
+		if min == 0 || r.Total < min {
+			min = r.Total
+		}
+	}
+	if completed < 10 {
+		t.Fatalf("only %d completed-call reports", completed)
+	}
+	if min < 80*time.Millisecond {
+		t.Errorf("fastest call total %v is below the physical floor of the LTE profile", min)
+	}
+	t.Logf("%d reports (%d completed), all stage sums exact; fastest total %v", len(reports), completed, min)
+}

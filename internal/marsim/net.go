@@ -1,0 +1,328 @@
+package marsim
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"marnet/internal/phy"
+	"marnet/internal/simnet"
+	"marnet/internal/wire"
+)
+
+// udpOverhead is the per-datagram IPv4 (20B) + UDP (8B) header cost added
+// to every simulated packet, so link serialization times match what the
+// same payload would cost on a real socket.
+const udpOverhead = 28
+
+// datagram is what a simulated packet carries: the application bytes plus
+// the addressing the receiving endpoint reports upward.
+type datagram struct {
+	data  []byte
+	src   *net.UDPAddr
+	dst   string // destination endpoint key ("ip:port")
+	cross bool   // background cross-traffic, terminates at the sink
+}
+
+// Net is the in-memory datagram network: endpoints joined through a
+// zero-delay core router, each behind its own uplink/downlink pair shaped
+// by a phy.Profile. The path client→server costs the client's uplink plus
+// the server's downlink — access link plus backbone, like the paper's
+// offloading topology.
+type Net struct {
+	sim   *simnet.Sim
+	clock *Clock
+	trace *Trace
+
+	endpoints map[string]*Endpoint
+	nextID    int
+	links     []*simnet.Link
+
+	// Packet conservation accounting: every injected packet must end in
+	// exactly one terminal counter (delivered, sink, dropClosed) or one
+	// link-level loss counter. CheckConservation verifies the identity.
+	appTx      int64 // datagrams sent by endpoints
+	crossTx    int64 // cross-traffic packets injected
+	delivered  int64 // datagrams handed to a live endpoint receiver
+	sink       int64 // packets with no route (cross-traffic terminus)
+	dropClosed int64 // datagrams arriving at a closed endpoint
+}
+
+// NewNet builds an empty network on sim, logging into trace.
+func NewNet(sim *simnet.Sim, clock *Clock, trace *Trace) *Net {
+	return &Net{
+		sim:       sim,
+		clock:     clock,
+		trace:     trace,
+		endpoints: make(map[string]*Endpoint),
+	}
+}
+
+// NewEndpoint attaches a named endpoint with links shaped by profile. The
+// address is synthetic and deterministic: allocation order alone decides
+// it, so traces are reproducible.
+func (n *Net) NewEndpoint(name string, p phy.Profile) *Endpoint {
+	id := n.nextID
+	n.nextID++
+	addr := &net.UDPAddr{
+		IP:   net.IPv4(10, 0, byte(id/250), byte(id%250+1)),
+		Port: 9000,
+	}
+	ep := &Endpoint{n: n, name: name, addr: addr, key: addr.String()}
+	ep.up = simnet.NewLink(n.sim, p.Up, p.OneWay, simnet.HandlerFunc(n.route),
+		simnet.WithJitter(p.Jitter), simnet.WithLoss(p.Loss), simnet.WithName(name+"/up"))
+	ep.down = simnet.NewLink(n.sim, p.Down, p.OneWay, simnet.HandlerFunc(ep.deliver),
+		simnet.WithJitter(p.Jitter), simnet.WithLoss(p.Loss), simnet.WithName(name+"/down"))
+	n.endpoints[ep.key] = ep
+	n.links = append(n.links, ep.up, ep.down)
+	return ep
+}
+
+// route is the core: an uplink delivered a packet, forward it onto the
+// destination's downlink (or account its terminal fate).
+func (n *Net) route(pkt *simnet.Packet) {
+	d := pkt.Payload.(*datagram)
+	ep, ok := n.endpoints[d.dst]
+	if !ok {
+		n.sink++
+		if !d.cross { // cross-traffic termination is routine, not a trace event
+			n.trace.eventf("sink", "%s -> %s %dB no route", d.src, d.dst, pkt.Size-udpOverhead)
+		}
+		return
+	}
+	if ep.closed {
+		n.dropClosed++
+		n.trace.eventf("drop", "%s -> %s %dB endpoint closed", d.src, d.dst, pkt.Size-udpOverhead)
+		return
+	}
+	ep.down.Send(pkt)
+}
+
+// CheckConservation verifies, after the event queue has drained, that no
+// packet was silently created or destroyed: per link, delivered equals
+// sent minus lost minus filter-dropped plus duplicated; globally, every
+// injected datagram reached exactly one terminal outcome.
+func (n *Net) CheckConservation() error {
+	var lost, qdrops, fdrops, fdups int64
+	for _, l := range n.links {
+		st := l.Stats()
+		if st.Delivered != st.SentPackets-st.LostPackets-st.FilterDrops+st.FilterDups {
+			return fmt.Errorf("marsim: link %s leaks packets: %+v", l.Name(), st)
+		}
+		lost += st.LostPackets
+		qdrops += st.QueueDrops
+		fdrops += st.FilterDrops
+		fdups += st.FilterDups
+	}
+	injected := n.appTx + n.crossTx + fdups
+	terminal := n.delivered + n.sink + n.dropClosed + lost + qdrops + fdrops
+	if injected != terminal {
+		return fmt.Errorf("marsim: packet conservation violated: injected=%d (app=%d cross=%d dups=%d) terminal=%d (delivered=%d sink=%d dropClosed=%d lost=%d queueDrops=%d filterDrops=%d)",
+			injected, n.appTx, n.crossTx, fdups,
+			terminal, n.delivered, n.sink, n.dropClosed, lost, qdrops, fdrops)
+	}
+	return nil
+}
+
+// NetStats is a snapshot of the global packet accounting.
+type NetStats struct {
+	AppTx, CrossTx, Delivered, Sink, DropClosed int64
+}
+
+// Stats snapshots the network-wide packet counters.
+func (n *Net) Stats() NetStats {
+	return NetStats{AppTx: n.appTx, CrossTx: n.crossTx, Delivered: n.delivered,
+		Sink: n.sink, DropClosed: n.dropClosed}
+}
+
+// Endpoint is one attachment point: a wire.PacketConn whose datagrams ride
+// simulated links. Delivery is synchronous on the simulation loop, so the
+// whole stack above it runs without a single goroutine.
+type Endpoint struct {
+	n      *Net
+	name   string
+	addr   *net.UDPAddr
+	key    string
+	up     *simnet.Link
+	down   *simnet.Link
+	recv   func(pkt []byte, from *net.UDPAddr)
+	closed bool
+	host   *Host
+}
+
+var _ wire.PacketConn = (*Endpoint)(nil)
+
+// WriteToUDP injects one datagram toward addr via this endpoint's uplink.
+func (ep *Endpoint) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
+	if ep.closed {
+		return 0, net.ErrClosed
+	}
+	n := ep.n
+	n.appTx++
+	n.trace.eventf("tx", "%s -> %s %dB", ep.key, addr.String(), len(b))
+	pkt := &simnet.Packet{
+		ID:      n.sim.NextPacketID(),
+		Size:    len(b) + udpOverhead,
+		Created: n.sim.Now(),
+		Payload: &datagram{data: append([]byte(nil), b...), src: ep.addr, dst: addr.String()},
+	}
+	ep.up.Send(pkt)
+	return len(b), nil
+}
+
+// deliver is the downlink handler: hand the datagram to the stack above.
+func (ep *Endpoint) deliver(pkt *simnet.Packet) {
+	d := pkt.Payload.(*datagram)
+	if ep.closed || ep.recv == nil {
+		ep.n.dropClosed++
+		ep.n.trace.eventf("drop", "%s -> %s %dB endpoint closed", d.src, d.dst, pkt.Size-udpOverhead)
+		return
+	}
+	ep.n.delivered++
+	ep.n.trace.eventf("rx", "%s -> %s %dB", d.src, d.dst, pkt.Size-udpOverhead)
+	ep.recv(d.data, d.src)
+}
+
+// LocalAddr reports the endpoint's synthetic address.
+func (ep *Endpoint) LocalAddr() net.Addr { return ep.addr }
+
+// UDPAddr is LocalAddr without the interface indirection (dial target).
+func (ep *Endpoint) UDPAddr() *net.UDPAddr { return ep.addr }
+
+// Start installs the inbound delivery callback.
+func (ep *Endpoint) Start(recv func(pkt []byte, from *net.UDPAddr)) { ep.recv = recv }
+
+// Synchronous reports event-loop delivery: true, this is a simulation.
+func (ep *Endpoint) Synchronous() bool { return true }
+
+// Close detaches the endpoint; in-flight packets toward it are dropped
+// (and accounted) on arrival.
+func (ep *Endpoint) Close() error {
+	ep.closed = true
+	return nil
+}
+
+// Links exposes the endpoint's uplink and downlink for measurement.
+func (ep *Endpoint) Links() (up, down *simnet.Link) { return ep.up, ep.down }
+
+// Host models one mobile device: every endpoint it opens (each re-dial of
+// a resilient session opens a fresh one, like a fresh UDP socket) shares
+// the host's current radio profile and partition state. SetProfile is a
+// vertical handover applied to live links; Partition is total loss.
+type Host struct {
+	n           *Net
+	name        string
+	profile     phy.Profile
+	partitioned bool
+	eps         []*Endpoint
+}
+
+// NewHost creates a host with an initial radio profile.
+func (n *Net) NewHost(name string, p phy.Profile) *Host {
+	return &Host{n: n, name: name, profile: p}
+}
+
+// NewEndpoint opens a fresh attachment (socket) on this host's radio.
+func (h *Host) NewEndpoint() *Endpoint {
+	ep := h.n.NewEndpoint(fmt.Sprintf("%s/%d", h.name, len(h.eps)), h.profile)
+	ep.host = h
+	h.eps = append(h.eps, ep)
+	h.applyTo(ep)
+	return ep
+}
+
+// SetProfile performs a vertical handover: all live endpoints' links take
+// the new rate/delay/jitter/loss immediately; packets already in flight
+// keep their old delivery times, like a real radio switch.
+func (h *Host) SetProfile(p phy.Profile) {
+	h.profile = p
+	h.n.trace.Logf("host %s handover to %s", h.name, p.Name)
+	for _, ep := range h.eps {
+		h.applyTo(ep)
+	}
+}
+
+// Partition toggles total packet loss on every live and future endpoint of
+// this host — the device walked out of coverage.
+func (h *Host) Partition(on bool) {
+	h.partitioned = on
+	h.n.trace.Logf("host %s partition=%v", h.name, on)
+	for _, ep := range h.eps {
+		h.applyTo(ep)
+	}
+}
+
+func (h *Host) applyTo(ep *Endpoint) {
+	p := h.profile
+	loss := p.Loss
+	if h.partitioned {
+		loss = 1
+	}
+	ep.up.SetRate(p.Up)
+	ep.up.SetDelay(p.OneWay)
+	ep.up.SetJitter(p.Jitter)
+	ep.up.SetLoss(loss)
+	ep.down.SetRate(p.Down)
+	ep.down.SetDelay(p.OneWay)
+	ep.down.SetJitter(p.Jitter)
+	ep.down.SetLoss(loss)
+}
+
+// Dialer returns a wire.ConnDialer that opens a fresh endpoint on this
+// host per dial — exactly how a resilient session re-dials through a new
+// socket after the old path died.
+func (h *Host) Dialer(server *Endpoint) wire.ConnDialer {
+	return func(cfg wire.Config) (*wire.Conn, error) {
+		return wire.DialVia(h.NewEndpoint(), server.UDPAddr(), cfg)
+	}
+}
+
+// current returns the most recently opened live endpoint.
+func (h *Host) current() *Endpoint {
+	for i := len(h.eps) - 1; i >= 0; i-- {
+		if !h.eps[i].closed {
+			return h.eps[i]
+		}
+	}
+	return nil
+}
+
+// StartCrossTraffic injects a constant-bit-rate background flow of
+// pktSize-byte packets into this host's current uplink — the Figure 3
+// competing upload that congests the asymmetric access link. The flow
+// terminates at the network core (no destination endpoint). The returned
+// stop function halts the flow.
+func (h *Host) StartCrossTraffic(bps float64, pktSize int) (stop func()) {
+	interval := time.Duration(float64(pktSize*8) / bps * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	stopped := false
+	var ev *simnet.Event
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		if ep := h.current(); ep != nil {
+			h.n.crossTx++
+			ep.up.Send(&simnet.Packet{
+				ID:      h.n.sim.NextPacketID(),
+				Size:    pktSize,
+				Created: h.n.sim.Now(),
+				Payload: &datagram{src: ep.addr, dst: "cross-sink", cross: true},
+			})
+		}
+		ev = h.n.sim.Schedule(interval, tick)
+	}
+	h.n.trace.Logf("host %s cross-traffic start %.0fbps", h.name, bps)
+	tick()
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		ev.Cancel()
+		h.n.trace.Logf("host %s cross-traffic stop", h.name)
+	}
+}

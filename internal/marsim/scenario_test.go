@@ -1,0 +1,199 @@
+package marsim
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// runScenario executes one canonical scenario with leak accounting: a
+// simulation run spawns ZERO goroutines (the whole stack is event-driven
+// on the virtual clock), so the count before and after must match.
+func runScenario(t *testing.T, name string, run func(int64) (*Result, error), seed int64) *Result {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	res, err := run(seed)
+	if err != nil {
+		t.Fatalf("%s(seed=%d): %v", name, seed, err)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("%s leaked goroutines: %d -> %d (simulation must spawn none)", name, before, after)
+	}
+	return res
+}
+
+func TestClockSemantics(t *testing.T) {
+	s := NewScenario("clock", 1)
+	t0 := s.Clock.Now()
+	var fired bool
+	tm := s.Clock.AfterFunc(50*time.Millisecond, func() { fired = true })
+	s.Sim.Schedule(10*time.Millisecond, func() {
+		if got := s.Clock.Since(t0); got != 10*time.Millisecond {
+			t.Errorf("Since = %v at +10ms", got)
+		}
+	})
+	if err := s.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("AfterFunc never fired")
+	}
+	if tm.Stop() {
+		t.Error("Stop on a fired timer reported true")
+	}
+	// A stopped timer never fires.
+	var leaked bool
+	tm2 := s.Clock.AfterFunc(time.Millisecond, func() { leaked = true })
+	if !tm2.Stop() {
+		t.Error("Stop on a pending timer reported false")
+	}
+	if err := s.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if leaked {
+		t.Error("cancelled timer fired anyway")
+	}
+}
+
+func TestHandoverScenario(t *testing.T) {
+	res := runScenario(t, "handover", RunHandover, 42)
+	if res.Reconnects != 0 {
+		t.Errorf("handover caused %d reconnects", res.Reconnects)
+	}
+	if res.OKs == 0 || res.Calls == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	// The vast majority of calls survive a clean vertical handover.
+	if float64(res.OKs) < 0.8*float64(res.Calls) {
+		t.Errorf("only %d/%d calls succeeded across the handover", res.OKs, res.Calls)
+	}
+	if res.Server.Served == 0 {
+		t.Error("server served nothing")
+	}
+}
+
+func TestCongestionScenario(t *testing.T) {
+	res := runScenario(t, "congestion", RunCongestion, 42)
+	if res.Fails == 0 {
+		t.Error("uplink congestion produced zero failures")
+	}
+	if res.OKs == 0 {
+		t.Error("no call ever succeeded")
+	}
+}
+
+func TestPartitionResumeScenario(t *testing.T) {
+	res := runScenario(t, "partition-resume", RunPartitionResume, 42)
+	if res.Reconnects < 1 {
+		t.Errorf("no reconnect across the partition: %+v", res)
+	}
+	var sawDead, sawActive bool
+	for _, tr := range res.Transitions {
+		switch tr.State.String() {
+		case "dead":
+			sawDead = true
+		case "active":
+			sawActive = true
+		}
+	}
+	if !sawDead || !sawActive {
+		t.Errorf("transitions missed dead/active: %+v", res.Transitions)
+	}
+}
+
+// TestPartitionResumeExactTimestamps pins the virtual-time determinism of
+// failure detection: two runs with the same seed observe every session
+// state transition at the exact same virtual microsecond.
+func TestPartitionResumeExactTimestamps(t *testing.T) {
+	a := runScenario(t, "partition-resume", RunPartitionResume, 7)
+	b := runScenario(t, "partition-resume", RunPartitionResume, 7)
+	if len(a.Transitions) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	if len(a.Transitions) != len(b.Transitions) {
+		t.Fatalf("transition counts differ: %d vs %d", len(a.Transitions), len(b.Transitions))
+	}
+	for i := range a.Transitions {
+		if a.Transitions[i] != b.Transitions[i] {
+			t.Errorf("transition %d differs: %+v vs %+v", i, a.Transitions[i], b.Transitions[i])
+		}
+	}
+	// And the timestamps are meaningful: dead-path detection follows the
+	// partition by at least the keepalive miss threshold (3 x 100 ms).
+	partitionAt := 2 * time.Second
+	for _, tr := range a.Transitions {
+		if tr.State.String() == "dead" && tr.At > partitionAt {
+			if tr.At < partitionAt+300*time.Millisecond {
+				t.Errorf("dead declared %v after partition, before the miss threshold", tr.At-partitionAt)
+			}
+			break
+		}
+	}
+}
+
+// TestDeterminismMatrix is the regression the whole testkit hangs on:
+// for each seed, two independent runs of the same scenario produce
+// byte-identical event traces; different seeds produce different ones.
+func TestDeterminismMatrix(t *testing.T) {
+	seeds := []int64{1, 7, 1234}
+	scenarios := []struct {
+		name string
+		run  func(int64) (*Result, error)
+	}{
+		{"handover", RunHandover},
+		{"congestion", RunCongestion},
+		{"partition-resume", RunPartitionResume},
+		{"overload-storm", RunOverloadStorm},
+	}
+	for _, sc := range scenarios {
+		var hashes []uint64
+		for _, seed := range seeds {
+			a, err := sc.run(seed)
+			if err != nil {
+				t.Fatalf("%s seed=%d run A: %v", sc.name, seed, err)
+			}
+			b, err := sc.run(seed)
+			if err != nil {
+				t.Fatalf("%s seed=%d run B: %v", sc.name, seed, err)
+			}
+			if !bytes.Equal(a.Trace, b.Trace) {
+				t.Errorf("%s seed=%d: traces differ (%d vs %d bytes, hash %x vs %x)",
+					sc.name, seed, len(a.Trace), len(b.Trace), a.TraceHash, b.TraceHash)
+			}
+			if a.Trace == nil || len(a.Trace) == 0 {
+				t.Errorf("%s seed=%d produced an empty trace", sc.name, seed)
+			}
+			hashes = append(hashes, a.TraceHash)
+		}
+		if hashes[0] == hashes[1] && hashes[1] == hashes[2] {
+			t.Errorf("%s: all seeds produced the identical trace — seeding is inert", sc.name)
+		}
+	}
+}
+
+// TestSoakTimeCompression is the endurance acceptance: at least 10
+// minutes of virtual time — handovers, partitions, steady call load on
+// the full real stack — must complete in under 5 s of wall time, twice,
+// with byte-identical traces.
+func TestSoakTimeCompression(t *testing.T) {
+	const simMinutes = 10
+	start := time.Now()
+	a := runScenario(t, "soak", func(seed int64) (*Result, error) { return RunSoak(seed, simMinutes) }, 99)
+	b := runScenario(t, "soak", func(seed int64) (*Result, error) { return RunSoak(seed, simMinutes) }, 99)
+	wall := time.Since(start)
+	if a.SimTime < simMinutes*time.Minute {
+		t.Errorf("simulated only %v, want >= %v", a.SimTime, simMinutes*time.Minute)
+	}
+	if wall > 5*time.Second {
+		t.Errorf("two %d-minute soaks took %v wall time, want < 5s", simMinutes, wall)
+	}
+	if !bytes.Equal(a.Trace, b.Trace) {
+		t.Errorf("soak traces differ across same-seed runs: %d vs %d bytes", len(a.Trace), len(b.Trace))
+	}
+	if a.Calls < int64(simMinutes)*60*4 {
+		t.Errorf("soak issued only %d calls", a.Calls)
+	}
+	t.Logf("soak: %v virtual in %v wall, %d calls (%d ok, %d fail), %d reconnects, trace %d lines (hash %x)",
+		a.SimTime, wall/2, a.Calls, a.OKs, a.Fails, a.Reconnects, bytes.Count(a.Trace, []byte{'\n'}), a.TraceHash)
+}

@@ -1,0 +1,56 @@
+package marsim
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"marnet/internal/simnet"
+)
+
+// Trace is the scenario's deterministic event log: one line per network
+// event (tx, rx, drop, sink) and per application log call, each stamped
+// with the virtual time in microseconds. Lines record packet METADATA only
+// — sizes, addresses, timings — never payload bytes: sealed frames carry
+// crypto/rand nonces, so payload bytes are the one nondeterministic input
+// in an otherwise deterministic run. Two runs of the same scenario with
+// the same seed must produce byte-identical traces; that equality is the
+// repo's determinism regression.
+type Trace struct {
+	sim   *simnet.Sim
+	buf   bytes.Buffer
+	lines int
+}
+
+// NewTrace creates an empty trace stamped from sim's virtual clock.
+func NewTrace(sim *simnet.Sim) *Trace { return &Trace{sim: sim} }
+
+// eventf appends one stamped line: "<µs> <kind> <formatted detail>".
+func (t *Trace) eventf(kind, format string, args ...any) {
+	fmt.Fprintf(&t.buf, "%10d %-5s ", t.sim.Now().Microseconds(), kind)
+	fmt.Fprintf(&t.buf, format, args...)
+	t.buf.WriteByte('\n')
+	t.lines++
+}
+
+// Logf records an application-level event (scenario phase changes, call
+// outcomes, state transitions) into the trace.
+func (t *Trace) Logf(format string, args ...any) { t.eventf("app", format, args...) }
+
+// Bytes returns the full trace contents.
+func (t *Trace) Bytes() []byte { return t.buf.Bytes() }
+
+// Lines reports how many events were recorded.
+func (t *Trace) Lines() int { return t.lines }
+
+// Hash returns a 64-bit FNV-1a digest of the trace — a compact identity
+// for byte-equality checks across runs and in soak logs.
+func (t *Trace) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(t.buf.Bytes()) //nolint:errcheck // hash.Hash never errors
+	return h.Sum64()
+}
+
+// stamp formats a virtual duration for exact-timestamp assertions.
+func stamp(d time.Duration) string { return fmt.Sprintf("%dus", d.Microseconds()) }

@@ -194,43 +194,69 @@ func (g *Gate) Next() (run *Item, rejected []Rejection, ok bool) {
 		if !popOK {
 			return nil, rejected, false
 		}
-		now := g.clock()
-		if !it.Deadline.IsZero() {
-			remaining := it.Deadline.Sub(now)
-			if remaining <= 0 {
-				g.mu.Lock()
-				g.expQueue++
-				g.mu.Unlock()
-				rejected = append(rejected, Rejection{Item: it, Verdict: RejectExpired})
-				continue
-			}
-			if est, estOK := g.est.Estimate(it.Method); estOK {
-				if time.Duration(g.cfg.Safety*float64(est)) > remaining {
-					g.mu.Lock()
-					g.cannotFinish++
-					g.mu.Unlock()
-					rejected = append(rejected, Rejection{Item: it, Verdict: RejectCannotFinish})
-					continue
-				}
-			}
+		if run, rejected = g.vet(it, rejected); run != nil {
+			return run, rejected, true
 		}
-		if g.cfg.Ladder.Enabled() {
-			switch tier := g.cfg.Ladder.Tier(g.adm.QueueDelay()); tier {
-			case TierReject:
-				g.mu.Lock()
-				g.ladderReject++
-				g.mu.Unlock()
-				rejected = append(rejected, Rejection{Item: it, Verdict: RejectShed})
-				continue
-			default:
-				it.Degrade = tier
-			}
-		}
-		g.mu.Lock()
-		g.inflight++
-		g.mu.Unlock()
-		return it, rejected, true
 	}
+}
+
+// TryNext is Next without blocking: ok is false when no work is queued
+// right now (rejections decided along the way may still be returned).
+// Event-driven servers — the deterministic simulation dispatch mode in
+// particular — pump the gate with TryNext from completion callbacks
+// instead of parking worker goroutines in Next.
+func (g *Gate) TryNext() (run *Item, rejected []Rejection, ok bool) {
+	for {
+		it, shed, popOK := g.adm.TryPop()
+		for _, s := range shed {
+			rejected = append(rejected, Rejection{Item: s, Verdict: RejectShed})
+		}
+		if !popOK {
+			return nil, rejected, false
+		}
+		if run, rejected = g.vet(it, rejected); run != nil {
+			return run, rejected, true
+		}
+	}
+}
+
+// vet applies the dispatch-time checks (expired-in-queue,
+// cannot-finish, ladder) to a popped item. It returns the item ready to
+// run, or nil with the rejection appended.
+func (g *Gate) vet(it *Item, rejected []Rejection) (*Item, []Rejection) {
+	now := g.clock()
+	if !it.Deadline.IsZero() {
+		remaining := it.Deadline.Sub(now)
+		if remaining <= 0 {
+			g.mu.Lock()
+			g.expQueue++
+			g.mu.Unlock()
+			return nil, append(rejected, Rejection{Item: it, Verdict: RejectExpired})
+		}
+		if est, estOK := g.est.Estimate(it.Method); estOK {
+			if time.Duration(g.cfg.Safety*float64(est)) > remaining {
+				g.mu.Lock()
+				g.cannotFinish++
+				g.mu.Unlock()
+				return nil, append(rejected, Rejection{Item: it, Verdict: RejectCannotFinish})
+			}
+		}
+	}
+	if g.cfg.Ladder.Enabled() {
+		switch tier := g.cfg.Ladder.Tier(g.adm.QueueDelay()); tier {
+		case TierReject:
+			g.mu.Lock()
+			g.ladderReject++
+			g.mu.Unlock()
+			return nil, append(rejected, Rejection{Item: it, Verdict: RejectShed})
+		default:
+			it.Degrade = tier
+		}
+	}
+	g.mu.Lock()
+	g.inflight++
+	g.mu.Unlock()
+	return it, rejected
 }
 
 // Done records the completion of an item returned by Next, feeding its

@@ -1,0 +1,375 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"marnet/internal/core"
+	"marnet/internal/obs"
+	"marnet/internal/vclock"
+	"marnet/internal/wire"
+)
+
+// The client's call engine is an event-driven state machine: every call is
+// a callState whose transitions (response arrival, per-attempt timeout,
+// hedge fire, retry backoff) run as clock callbacks under Client.mu. No
+// goroutine parks waiting for a call, so the identical retry/hedge/breaker
+// logic runs on the system clock in production and on the simulation's
+// virtual clock in internal/marsim — where a whole storm of concurrent
+// calls executes deterministically on one event loop. The blocking Call /
+// CallPri API is a thin channel wait over CallAsync.
+
+// completion is a finishing action a locked transition hands back to run
+// after Client.mu is released (user callbacks and breaker/budget updates
+// must not run under the lock).
+type completion func()
+
+type callOutcome struct {
+	resp []byte
+	err  error
+}
+
+// callState is one in-flight call: attempt bookkeeping plus the timers
+// that drive it. All fields are guarded by Client.mu.
+type callState struct {
+	c        *Client
+	method   uint8
+	req      []byte
+	prio     core.Priority
+	deadline time.Duration
+	span     *obs.Span
+	done     func([]byte, error)
+	// probe bypasses the breaker and call-level stats (Calls, Timeouts,
+	// latency samples), exactly like the former direct-attempt path.
+	probe bool
+
+	started  time.Time
+	attempts int // attempt budget
+	attempt  int // current attempt index (0-based)
+	used     int // attempts actually launched
+	finished bool
+
+	// Current attempt state.
+	aStart   time.Time
+	aTimeout time.Duration
+	id1, id2 uint64 // primary and hedged request ids (0 = none)
+	hstart   time.Time
+
+	hedgeT, timeoutT, backoffT vclock.Timer
+
+	lastErr  error
+	lastInfo attemptInfo
+}
+
+// CallAsync issues a call without blocking: done is invoked exactly once —
+// possibly synchronously — with the response or error, from an unspecified
+// goroutine (on a virtual clock: the simulation loop). Semantics are
+// identical to CallPri: deadline split across retries, hedging,
+// breaker, typed server rejections.
+func (c *Client) CallAsync(method uint8, req []byte, prio core.Priority, deadline time.Duration, done func([]byte, error)) {
+	if len(req)+reqHeader > wire.MaxPayload {
+		done(nil, fmt.Errorf("%w: %d bytes", ErrTooBig, len(req)))
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		done(nil, ErrClosed)
+		return
+	}
+	c.stats.Calls++
+	c.mu.Unlock()
+
+	if !c.breaker.allow(c.clock.Now()) {
+		c.mu.Lock()
+		c.stats.BreakerFastFails++
+		c.mu.Unlock()
+		done(nil, ErrBreakerOpen)
+		return
+	}
+
+	attempts := c.cfg.Retry.Max
+	if attempts < 1 {
+		attempts = 1
+	}
+	cs := &callState{
+		c: c, method: method, req: req, prio: prio, deadline: deadline,
+		span: c.cfg.Tracer.StartTrace("call"), done: done,
+		started: c.clock.Now(), attempts: attempts,
+	}
+	c.startCall(cs)
+}
+
+func (c *Client) startCall(cs *callState) {
+	c.mu.Lock()
+	fin := cs.beginAttemptLocked()
+	c.mu.Unlock()
+	if fin != nil {
+		fin()
+	}
+}
+
+// beginAttemptLocked launches attempt cs.attempt, arming its timeout and
+// hedge timers. It returns the completion to run unlocked when the call
+// ends synchronously (deadline already burned, launch failure on the last
+// attempt, ...).
+func (cs *callState) beginAttemptLocked() completion {
+	c := cs.c
+	remaining := cs.deadline - c.clock.Since(cs.started)
+	if remaining <= 0 {
+		if cs.lastErr == nil {
+			cs.lastErr = fmt.Errorf("%w after %v", ErrDeadline, cs.deadline)
+		}
+		return cs.completeLocked(nil, cs.lastErr, false)
+	}
+	per := remaining / time.Duration(cs.attempts-cs.attempt)
+	cs.aStart = c.clock.Now()
+	cs.aTimeout = per
+	id, err := c.launchLocked(cs, per)
+	if err != nil {
+		return cs.attemptFailedLocked(err, attemptInfo{})
+	}
+	cs.id1, cs.id2 = id, 0
+	cs.hstart = time.Time{}
+	myAttempt := cs.attempt
+	if c.cfg.Hedge.Enabled {
+		if d := c.hedgeDelay(per); d < per {
+			cs.hedgeT = c.clock.AfterFunc(d, func() { cs.onHedgeFire(myAttempt) })
+		}
+	}
+	cs.timeoutT = c.clock.AfterFunc(per, func() { cs.onAttemptTimeout(myAttempt) })
+	return nil
+}
+
+// launchLocked registers a request id for cs and sends the request once,
+// stamping the priority and the remaining deadline budget into the header.
+func (c *Client) launchLocked(cs *callState, budget time.Duration) (uint64, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cs
+
+	buf := make([]byte, reqHeader+len(cs.req))
+	binary.LittleEndian.PutUint64(buf, id)
+	buf[8] = cs.method
+	buf[9] = byte(cs.prio)
+	us := budget.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	if us > math.MaxUint32 {
+		us = math.MaxUint32
+	}
+	binary.LittleEndian.PutUint32(buf[10:14], uint32(us))
+	copy(buf[reqHeader:], cs.req)
+
+	var traceID, spanID uint64
+	if cs.span != nil {
+		traceID, spanID = uint64(cs.span.Trace), uint64(cs.span.ID)
+	}
+	ok, err := c.sess.SendTraced(reqStream, buf, traceID, spanID)
+	if err != nil || !ok {
+		delete(c.pending, id)
+		if err != nil {
+			return 0, err
+		}
+		c.stats.ShedCalls++
+		return 0, ErrShed
+	}
+	return id, nil
+}
+
+// onResultLocked consumes the response for one of this call's request ids
+// (the caller has already removed id from the pending map).
+func (cs *callState) onResultLocked(id uint64, res callResult) completion {
+	c := cs.c
+	if cs.finished {
+		return nil
+	}
+	info := attemptInfo{queued: res.queued, service: res.service}
+	if id == cs.id2 {
+		info.rtt = c.clock.Since(cs.hstart)
+		info.hedged = true
+	} else {
+		info.rtt = c.clock.Since(cs.aStart)
+	}
+	resp, rerr := c.resolveLocked(res)
+	aStart := cs.aStart
+	cs.endAttemptLocked()
+	cs.used = cs.attempt + 1
+	cs.lastInfo = info
+	if rerr == nil {
+		if info.hedged {
+			c.stats.HedgeWins++
+		}
+		if !cs.probe {
+			c.lat.record(c.clock.Since(aStart))
+		}
+		return cs.completeLocked(resp, nil, true)
+	}
+	return cs.attemptFailedLocked(rerr, info)
+}
+
+// attemptFailedLocked records a failed attempt and either schedules the
+// retry or finishes the call.
+func (cs *callState) attemptFailedLocked(err error, info attemptInfo) completion {
+	c := cs.c
+	cs.used = cs.attempt + 1
+	cs.lastErr = err
+	cs.lastInfo = info
+	cs.endAttemptLocked()
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrDraining) {
+		// Permanent for this server: no point retrying here — a failover
+		// client moves the call to a backup instead.
+		return cs.completeLocked(nil, err, false)
+	}
+	if cs.attempt >= cs.attempts-1 {
+		return cs.completeLocked(nil, err, false)
+	}
+	c.stats.Retries++
+	b := c.cfg.Retry.Backoff
+	if b <= 0 {
+		b = 20 * time.Millisecond
+	}
+	maxB := c.cfg.Retry.MaxBackoff
+	if maxB <= 0 {
+		maxB = 250 * time.Millisecond
+	}
+	b <<= cs.attempt
+	if b > maxB {
+		b = maxB
+	}
+	sleep := b/2 + time.Duration(c.rng.Int63n(int64(b/2)+1))
+	if rem := cs.deadline - c.clock.Since(cs.started); sleep > rem {
+		sleep = rem
+	}
+	cs.attempt++
+	if sleep > 0 {
+		cs.backoffT = c.clock.AfterFunc(sleep, cs.onBackoffFire)
+		return nil
+	}
+	return cs.beginAttemptLocked()
+}
+
+// onAttemptTimeout fires when attempt myAttempt exhausts its share of the
+// deadline with no response.
+func (cs *callState) onAttemptTimeout(myAttempt int) {
+	c := cs.c
+	c.mu.Lock()
+	var fin completion
+	if !cs.finished && cs.attempt == myAttempt && cs.backoffT == nil {
+		fin = cs.attemptFailedLocked(fmt.Errorf("%w after %v", ErrDeadline, cs.aTimeout), attemptInfo{})
+	}
+	c.mu.Unlock()
+	if fin != nil {
+		fin()
+	}
+}
+
+// onHedgeFire duplicates a straggling request; the first response wins.
+func (cs *callState) onHedgeFire(myAttempt int) {
+	c := cs.c
+	c.mu.Lock()
+	if !cs.finished && cs.attempt == myAttempt && cs.id2 == 0 {
+		cs.hedgeT = nil
+		if id, err := c.launchLocked(cs, cs.aTimeout-c.clock.Since(cs.aStart)); err == nil {
+			cs.id2 = id
+			cs.hstart = c.clock.Now()
+			c.stats.Hedges++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// onBackoffFire starts the next attempt after the retry backoff.
+func (cs *callState) onBackoffFire() {
+	c := cs.c
+	c.mu.Lock()
+	var fin completion
+	cs.backoffT = nil
+	if !cs.finished {
+		fin = cs.beginAttemptLocked()
+	}
+	c.mu.Unlock()
+	if fin != nil {
+		fin()
+	}
+}
+
+// endAttemptLocked stops the current attempt's timers and unregisters its
+// request ids; late responses for them are dropped on lookup.
+func (cs *callState) endAttemptLocked() {
+	c := cs.c
+	if cs.hedgeT != nil {
+		cs.hedgeT.Stop()
+		cs.hedgeT = nil
+	}
+	if cs.timeoutT != nil {
+		cs.timeoutT.Stop()
+		cs.timeoutT = nil
+	}
+	if cs.id1 != 0 {
+		delete(c.pending, cs.id1)
+		cs.id1 = 0
+	}
+	if cs.id2 != 0 {
+		delete(c.pending, cs.id2)
+		cs.id2 = 0
+	}
+}
+
+// completeLocked finishes the call and returns the unlocked finishing
+// action: breaker verdict, budget attribution, the caller's done callback.
+func (cs *callState) completeLocked(resp []byte, err error, success bool) completion {
+	c := cs.c
+	if cs.finished {
+		return nil
+	}
+	cs.finished = true
+	cs.endAttemptLocked()
+	if cs.backoffT != nil {
+		cs.backoffT.Stop()
+		cs.backoffT = nil
+	}
+	if !success && !cs.probe && errors.Is(err, ErrDeadline) {
+		c.stats.Timeouts++
+	}
+	span, info, total, used := cs.span, cs.lastInfo, c.clock.Since(cs.started), cs.used
+	done, probe := cs.done, cs.probe
+	return func() {
+		if !probe {
+			c.breaker.record(success, c.clock.Now())
+		}
+		c.finishCall(span, info, total, used)
+		done(resp, err)
+	}
+}
+
+// failPendingLocked completes every in-flight call with err (Close path).
+// Calls are failed in ascending first-request-id order so teardown is
+// deterministic under a virtual clock.
+func (c *Client) failPendingLocked(err error) []completion {
+	ids := make([]uint64, 0, len(c.pending))
+	for id := range c.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var fins []completion
+	for _, id := range ids {
+		cs, ok := c.pending[id]
+		if !ok || cs.finished {
+			continue
+		}
+		if fin := cs.completeLocked(nil, err, false); fin != nil {
+			fins = append(fins, fin)
+		}
+	}
+	c.pending = make(map[uint64]*callState)
+	return fins
+}

@@ -54,6 +54,17 @@ func DialFailover(addrs []string, cfg ClientConfig) (*FailoverClient, error) {
 	return fc, nil
 }
 
+// NewFailoverFromClients assembles a FailoverClient from already-dialed
+// per-server clients (clients[0] is the primary). The simulation testkit
+// uses this: each client is dialed with its own simulated transport, then
+// composed into the Figure 5a topology.
+func NewFailoverFromClients(clients []*Client) (*FailoverClient, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("rpc: no clients")
+	}
+	return &FailoverClient{clients: clients}, nil
+}
+
 // Call tries the primary first, then each backup in order, splitting the
 // remaining deadline evenly across the servers not yet tried. A server
 // whose breaker is open fails in microseconds, so its share of the budget
@@ -61,8 +72,23 @@ func DialFailover(addrs []string, cfg ClientConfig) (*FailoverClient, error) {
 // declared themselves draining (or whose breaker is open) are deferred to
 // the end of the order: the health hint steers calls away before they
 // fail, but never strands a call when every server looks unhealthy.
+// Blocking wrapper over CallAsync — use CallAsync from a simulation's
+// event loop.
 func (fc *FailoverClient) Call(method uint8, req []byte, deadline time.Duration) ([]byte, error) {
-	start := time.Now()
+	ch := make(chan callOutcome, 1)
+	fc.CallAsync(method, req, deadline, func(resp []byte, err error) {
+		ch <- callOutcome{resp, err}
+	})
+	out := <-ch
+	return out.resp, out.err
+}
+
+// CallAsync is Call without blocking: done is invoked exactly once with
+// the first successful response or the last error once every candidate
+// has been tried or the deadline is spent.
+func (fc *FailoverClient) CallAsync(method uint8, req []byte, deadline time.Duration, done func([]byte, error)) {
+	clock := fc.clients[0].clock
+	start := clock.Now()
 	n := len(fc.clients)
 	order := make([]int, 0, n)
 	var deferred []int
@@ -75,28 +101,39 @@ func (fc *FailoverClient) Call(method uint8, req []byte, deadline time.Duration)
 	}
 	order = append(order, deferred...)
 
-	var lastErr error
-	for k, idx := range order {
-		remaining := deadline - time.Since(start)
+	var try func(k int, lastErr error)
+	try = func(k int, lastErr error) {
+		if k >= len(order) {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w after %v", ErrDeadline, deadline)
+			}
+			done(nil, lastErr)
+			return
+		}
+		remaining := deadline - clock.Since(start)
 		if remaining <= 0 {
-			break
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w after %v", ErrDeadline, deadline)
+			}
+			done(nil, lastErr)
+			return
 		}
 		share := remaining / time.Duration(len(order)-k)
-		resp, err := fc.clients[idx].Call(method, req, share)
-		if err == nil {
-			if idx > 0 {
-				fc.mu.Lock()
-				fc.failovers++
-				fc.mu.Unlock()
+		idx := order[k]
+		fc.clients[idx].CallAsync(method, req, fc.clients[idx].cfg.Priority, share, func(resp []byte, err error) {
+			if err == nil {
+				if idx > 0 {
+					fc.mu.Lock()
+					fc.failovers++
+					fc.mu.Unlock()
+				}
+				done(resp, nil)
+				return
 			}
-			return resp, nil
-		}
-		lastErr = err
+			try(k+1, err)
+		})
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("%w after %v", ErrDeadline, deadline)
-	}
-	return nil, lastErr
+	try(0, nil)
 }
 
 // Stats snapshots every server's client counters plus failover totals.

@@ -1,21 +1,18 @@
 package rpc
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
-
-	"marnet/internal/core"
 )
 
 // The storm suite is the acceptance test for server-side overload
-// protection: an open-loop load at 4x sustained over-capacity must leave
-// the protected tier essentially untouched, keep admitted latency inside
-// the budget, concentrate shedding in the lowest tiers — and a draining
-// server must complete everything it accepted while clients fail over
-// without losing a single accepted request.
+// protection: a draining server must complete everything it accepted
+// while clients fail over without losing a single accepted request. The
+// 4x over-capacity priority-shedding storm moved to storm_sim_test.go,
+// where it runs on the virtual clock with the TIGHT latency bound (no
+// scheduling slack) and deterministic tier outcomes.
 
 const methodStorm = 9
 
@@ -33,123 +30,6 @@ func stormHandler(method uint8, req []byte) []byte {
 		return []byte("ok")
 	}
 	return nil
-}
-
-// tierLoad is one priority class's slice of the open-loop storm.
-type tierLoad struct {
-	prio    core.Priority
-	perTick int // calls fired every 5 ms tick
-
-	offered   int64
-	succeeded int64
-	mu        sync.Mutex
-	latencies []time.Duration
-}
-
-func TestOverloadStormShedsByPriority(t *testing.T) {
-	if testing.Short() {
-		t.Skip("storm suite skipped in -short mode")
-	}
-	srv, err := NewServer("127.0.0.1:0", nil, stormHandler, WithWorkers(stormWorkers))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-
-	// Capacity is 800 req/s (4 workers x 5 ms). The offered load is 4x
-	// that, skewed so the protected tier is comfortably within capacity
-	// while the lower tiers carry the overload: per 5 ms tick,
-	// 2+4+5+5 = 16 calls = 3200 req/s.
-	loads := []*tierLoad{
-		{prio: core.PrioHighest, perTick: 2}, // 400 req/s, tier 0
-		{prio: core.PrioNoDiscard, perTick: 4},
-		{prio: core.PrioNoDelay, perTick: 5},
-		{prio: core.PrioLowest, perTick: 5},
-	}
-	clients := make([]*Client, len(loads))
-	for i, ld := range loads {
-		cl, err := Dial(srv.Addr(), ClientConfig{Priority: ld.prio, Seed: int64(100 + i)})
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer cl.Close()
-		clients[i] = cl
-	}
-
-	const ticks = 300 // 1.5 s of storm
-	var wg sync.WaitGroup
-	ticker := time.NewTicker(5 * time.Millisecond)
-	defer ticker.Stop()
-	for tick := 0; tick < ticks; tick++ {
-		<-ticker.C
-		for i, ld := range loads {
-			for k := 0; k < ld.perTick; k++ {
-				atomic.AddInt64(&ld.offered, 1)
-				wg.Add(1)
-				go func(cl *Client, ld *tierLoad) {
-					defer wg.Done()
-					t0 := time.Now()
-					if _, err := cl.Call(methodStorm, nil, stormBudget); err == nil {
-						atomic.AddInt64(&ld.succeeded, 1)
-						ld.mu.Lock()
-						ld.latencies = append(ld.latencies, time.Since(t0))
-						ld.mu.Unlock()
-					}
-				}(clients[i], ld)
-			}
-		}
-	}
-	wg.Wait()
-
-	// (a) Every admitted-and-served request finished inside the budget.
-	var all []time.Duration
-	for _, ld := range loads {
-		all = append(all, ld.latencies...)
-	}
-	if len(all) == 0 {
-		t.Fatal("no request succeeded at all")
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	p99 := all[len(all)*99/100-1]
-	// Client-observed latency includes goroutine wakeup after the response
-	// lands, which the race detector stretches past the budget by ~100 µs
-	// on loaded machines; allow that slack without weakening the bound.
-	if p99 > stormBudget+2*time.Millisecond {
-		t.Errorf("p99 admitted latency %v exceeds budget %v", p99, stormBudget)
-	}
-
-	// (b) The protected tier sails through while shedding concentrates
-	// at the bottom: success fractions must not increase down the tiers.
-	frac := make([]float64, len(loads))
-	for i, ld := range loads {
-		frac[i] = float64(ld.succeeded) / float64(ld.offered)
-		t.Logf("tier %d (prio %v): %d/%d succeeded (%.1f%%)",
-			i, ld.prio, ld.succeeded, ld.offered, 100*frac[i])
-	}
-	if frac[0] < 0.95 {
-		t.Errorf("protected tier success %.1f%% < 95%%", 100*frac[0])
-	}
-	for i := 1; i < len(frac); i++ {
-		if frac[i] > frac[i-1]+0.05 {
-			t.Errorf("tier %d success %.1f%% exceeds tier %d success %.1f%%: shedding is not priority-ordered",
-				i, 100*frac[i], i-1, 100*frac[i-1])
-		}
-	}
-	if frac[len(frac)-1] > 0.5 {
-		t.Errorf("lowest tier success %.1f%%: the storm never actually overloaded the server",
-			100*frac[len(frac)-1])
-	}
-
-	st := srv.Stats()
-	rejects := st.Shed + st.QueueFull + st.ExpiredInQueue + st.CannotFinish + st.ExpiredOnArrival
-	if rejects == 0 {
-		t.Error("server rejected nothing at 4x over-capacity")
-	}
-	if n := st.Gate.Admission.CoDelShed[0]; n != 0 {
-		t.Errorf("protected tier was CoDel-shed %d times", n)
-	}
-	t.Logf("server: served=%d shed=%d queueFull=%d expiredQueue=%d cannotFinish=%d expiredArrival=%d",
-		st.Served, st.Shed, st.QueueFull, st.ExpiredInQueue, st.CannotFinish, st.ExpiredOnArrival)
 }
 
 func TestOverloadDrainFailoverLosesNothing(t *testing.T) {

@@ -38,6 +38,7 @@ import (
 	"marnet/internal/core"
 	"marnet/internal/obs"
 	"marnet/internal/overload"
+	"marnet/internal/vclock"
 	"marnet/internal/wire"
 )
 
@@ -113,6 +114,9 @@ type serverOptions struct {
 	workers     int
 	tiered      TierHandler
 	tracer      *obs.Tracer
+	clock       vclock.Clock
+	pc          wire.PacketConn
+	svcModel    ServiceModel
 }
 
 // WithPeerIdleTimeout evicts client connections silent for longer than d,
@@ -147,6 +151,39 @@ func WithTierHandler(h TierHandler) ServerOption {
 // the tracer only controls whether the server keeps its own spans.
 func WithTracer(t *obs.Tracer) ServerOption {
 	return func(o *serverOptions) { o.tracer = t }
+}
+
+// WithClock injects the server's time source (default the system clock).
+// It drives deadline anchoring, queue-wait measurement, idle eviction and
+// the admission gate, so a server on a virtual clock is fully
+// deterministic.
+func WithClock(clock vclock.Clock) ServerOption {
+	return func(o *serverOptions) { o.clock = clock }
+}
+
+// WithPacketConn serves over a caller-supplied transport (e.g. a simulated
+// network endpoint) instead of binding a UDP socket; the addr argument to
+// NewServer is then ignored. The server owns the transport and closes it.
+func WithPacketConn(pc wire.PacketConn) ServerOption {
+	return func(o *serverOptions) { o.pc = pc }
+}
+
+// ServiceModel declares how long serving a request takes. In the
+// event-dispatch mode it replaces measured handler wall time: the handler
+// still computes the real response (inline, assumed cheap), but the
+// worker slot is occupied for the modeled duration on the server's clock.
+// Under a virtual clock this is what makes a 5 ms recognition call cost
+// exactly 5 ms of simulated time and zero wall time.
+type ServiceModel func(method uint8, req []byte) time.Duration
+
+// WithServiceModel switches the server to event-driven dispatch: no
+// worker goroutines park in Gate.Next; instead completions pump the gate
+// with TryNext and each admitted call occupies one of the WithWorkers
+// slots for the modeled service time. Required for simulation (a parked
+// goroutine would deadlock a single-threaded virtual clock); usable only
+// when handler cost is modeled rather than measured.
+func WithServiceModel(m ServiceModel) ServerOption {
+	return func(o *serverOptions) { o.svcModel = m }
 }
 
 // ServerStats is a snapshot of the server's serving and rejection
@@ -190,17 +227,20 @@ type serverCall struct {
 // overload.Gate before any handler runs: per-priority bounded queues,
 // queue-delay shedding, deadline enforcement, and the drain protocol.
 type Server struct {
-	mux     *wire.Mux
-	handler Handler
-	tiered  TierHandler
-	gate    *overload.Gate
-	tracer  *obs.Tracer
-	wg      sync.WaitGroup
+	mux      *wire.Mux
+	handler  Handler
+	tiered   TierHandler
+	gate     *overload.Gate
+	tracer   *obs.Tracer
+	clock    vclock.Clock
+	svcModel ServiceModel
+	wg       sync.WaitGroup
 
-	mu     sync.Mutex
-	conns  map[string]*wire.Conn
-	served int64
-	stats  ServerStats
+	mu          sync.Mutex
+	conns       map[string]*wire.Conn
+	served      int64
+	stats       ServerStats
+	freeWorkers int // event-dispatch mode: idle worker slots
 }
 
 // NewServer listens on addr. key (optional) enables AES-GCM sealing.
@@ -215,18 +255,25 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 	if so.workers <= 0 {
 		so.workers = 8
 	}
-	s := &Server{
-		handler: handler,
-		tiered:  so.tiered,
-		gate:    overload.NewGate(so.overload),
-		tracer:  so.tracer,
-		conns:   make(map[string]*wire.Conn),
+	clock := vclock.OrSystem(so.clock)
+	if so.overload.Clock == nil {
+		so.overload.Clock = clock.Now
 	}
-	var muxOpts []wire.MuxOption
+	s := &Server{
+		handler:     handler,
+		tiered:      so.tiered,
+		gate:        overload.NewGate(so.overload),
+		tracer:      so.tracer,
+		clock:       clock,
+		svcModel:    so.svcModel,
+		conns:       make(map[string]*wire.Conn),
+		freeWorkers: so.workers,
+	}
+	muxOpts := []wire.MuxOption{wire.WithMuxClock(clock)}
 	if so.idleTimeout > 0 {
 		muxOpts = append(muxOpts, wire.WithIdleTimeout(so.idleTimeout))
 	}
-	mux, err := wire.ListenMux(addr, func(*net.UDPAddr) wire.Config {
+	configFor := func(*net.UDPAddr) wire.Config {
 		return wire.Config{
 			Streams: []wire.StreamSpec{
 				{ID: respStream, Class: core.ClassLossRecovery, Priority: core.PrioHighest,
@@ -235,8 +282,16 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 			StartBudget: 20e6,
 			Key:         key,
 			OnMessage:   s.onMessage,
+			Clock:       clock,
 		}
-	}, muxOpts...)
+	}
+	var mux *wire.Mux
+	var err error
+	if so.pc != nil {
+		mux, err = wire.ListenMuxVia(so.pc, configFor, muxOpts...)
+	} else {
+		mux, err = wire.ListenMux(addr, configFor, muxOpts...)
+	}
 	if err != nil {
 		s.gate.Close()
 		return nil, err
@@ -258,9 +313,11 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 		s.mu.Unlock()
 	})
 	s.mux = mux
-	for i := 0; i < so.workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if s.svcModel == nil {
+		for i := 0; i < so.workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	return s, nil
 }
@@ -373,7 +430,7 @@ func (s *Server) onMessage(m wire.Message) {
 		Method: method,
 		Job: &serverCall{
 			conn: conn, id: id, req: m.Payload[reqHeader:],
-			arrived: time.Now(), traceID: m.TraceID, spanID: m.SpanID,
+			arrived: s.clock.Now(), traceID: m.TraceID, spanID: m.SpanID,
 		},
 	}
 	if budget > 0 {
@@ -382,11 +439,85 @@ func (s *Server) onMessage(m wire.Message) {
 		// estimated one-way trip is charged before anchoring. A request
 		// that spent its whole budget in flight is dead on arrival.
 		d := time.Duration(budget)*time.Microsecond - conn.SRTT()/2
-		it.Deadline = time.Now().Add(d)
+		it.Deadline = s.clock.Now().Add(d)
 	}
 	if v := s.gate.Admit(it); v != overload.Admit {
 		s.refuse(it, v, true)
+		return
 	}
+	if s.svcModel != nil {
+		s.pump()
+	}
+}
+
+// pump (event-dispatch mode) hands queued work to free worker slots until
+// either runs out. It is called after every admission and every modeled
+// completion — the event-driven equivalent of workers parked in Next.
+func (s *Server) pump() {
+	for {
+		s.mu.Lock()
+		if s.freeWorkers <= 0 {
+			s.mu.Unlock()
+			return
+		}
+		s.freeWorkers--
+		s.mu.Unlock()
+		run, rejected, ok := s.gate.TryNext()
+		for _, rej := range rejected {
+			s.refuse(rej.Item, rej.Verdict, false)
+		}
+		if !ok {
+			s.mu.Lock()
+			s.freeWorkers++
+			s.mu.Unlock()
+			return
+		}
+		s.dispatch(run)
+	}
+}
+
+// dispatch (event-dispatch mode) runs the handler inline and holds the
+// worker slot for the modeled service time on the server's clock; the
+// response goes out when that time has elapsed, exactly as a worker pool
+// would behave if the handler really took that long.
+func (s *Server) dispatch(run *overload.Item) {
+	call := run.Job.(*serverCall)
+	t0 := s.clock.Now()
+	queued := t0.Sub(call.arrived)
+	span := s.tracer.StartSpan("server", obs.TraceID(call.traceID), obs.SpanID(call.spanID))
+	var resp []byte
+	if s.tiered != nil {
+		resp = s.tiered(run.Method, call.req, run.Degrade)
+	} else {
+		resp = s.handler(run.Method, call.req)
+	}
+	service := s.svcModel(run.Method, call.req)
+	if service < 0 {
+		service = 0
+	}
+	s.clock.AfterFunc(service, func() {
+		took := s.clock.Now().Sub(t0)
+		span.Stage(obs.StageQueue, queued)
+		span.Stage(obs.StageCompute, took)
+		span.Finish()
+		status := byte(statusOK)
+		if run.Degrade != overload.TierFull && run.Degrade != 0 {
+			status = statusDegraded
+		}
+		err := s.respondTraced(call.conn, call.id, run.Method, status, resp,
+			call.traceID, call.spanID, queued, took)
+		s.gate.Done(run, took)
+		s.mu.Lock()
+		s.freeWorkers++
+		if err == nil {
+			s.served++
+			if status == statusDegraded {
+				s.stats.Degraded++
+			}
+		}
+		s.mu.Unlock()
+		s.pump()
+	})
 }
 
 // worker consumes the admission queues: every item the gate hands over
@@ -403,7 +534,7 @@ func (s *Server) worker() {
 			return
 		}
 		call := run.Job.(*serverCall)
-		t0 := time.Now()
+		t0 := s.clock.Now()
 		queued := t0.Sub(call.arrived)
 		span := s.tracer.StartSpan("server", obs.TraceID(call.traceID), obs.SpanID(call.spanID))
 		var resp []byte
@@ -412,7 +543,7 @@ func (s *Server) worker() {
 		} else {
 			resp = s.handler(run.Method, call.req)
 		}
-		took := time.Since(t0)
+		took := s.clock.Since(t0)
 		span.Stage(obs.StageQueue, queued)
 		span.Stage(obs.StageCompute, took)
 		span.Finish()
@@ -469,7 +600,7 @@ func (s *Server) refuse(it *overload.Item, v overload.Verdict, onArrival bool) {
 		// budget attribution can blame the server queue, not the network.
 		var queued time.Duration
 		if !call.arrived.IsZero() {
-			queued = time.Since(call.arrived)
+			queued = s.clock.Since(call.arrived)
 		}
 		s.respondTraced(call.conn, call.id, it.Method, status, nil, //nolint:errcheck // best-effort rejection notice
 			call.traceID, call.spanID, queued, 0)
@@ -575,10 +706,11 @@ type Client struct {
 	sess   *wire.Session
 	cfg    ClientConfig
 	budget *obs.BudgetTracker
+	clock  vclock.Clock
 
 	mu            sync.Mutex
 	nextID        uint64
-	pending       map[uint64]chan callResult
+	pending       map[uint64]*callState
 	closed        bool
 	rng           *rand.Rand
 	stats         ClientStats
@@ -643,6 +775,17 @@ type ClientConfig struct {
 	// MetricsLabels are attached to every metric the budget tracker
 	// registers on Metrics.
 	MetricsLabels []obs.Label
+
+	// Clock injects the client's time source (default the system clock).
+	// Deadlines, retry backoff, hedging, the breaker's windows and the
+	// draining TTL all run on it, so a client on a virtual clock is fully
+	// deterministic.
+	Clock vclock.Clock
+	// Dialer, when set, replaces the UDP dial for every connection attempt
+	// (initial and each session re-dial) — the hook internal/marsim uses to
+	// hand the client fresh simulated endpoints. The addr argument to Dial
+	// is then only a label.
+	Dialer wire.ConnDialer
 }
 
 // Dial connects to a server.
@@ -664,7 +807,8 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		cfg:     cfg,
-		pending: make(map[uint64]chan callResult),
+		clock:   vclock.OrSystem(cfg.Clock),
+		pending: make(map[uint64]*callState),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		breaker: newBreaker(cfg.Breaker),
 		lat:     newLatencyTracker(),
@@ -672,7 +816,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.Tracer != nil {
 		c.budget = obs.NewBudgetTracker(cfg.Budget, cfg.Metrics, cfg.MetricsLabels...)
 	}
-	sess, err := wire.DialSession(addr, wire.Config{
+	wcfg := wire.Config{
 		Streams: []wire.StreamSpec{
 			{ID: reqStream, Class: core.ClassLossRecovery, Priority: core.PrioHighest,
 				Rate: cfg.RequestRate, Deadline: cfg.RequestDeadline},
@@ -682,12 +826,21 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		OnMessage:     c.onMessage,
 		Keepalive:     cfg.Keepalive,
 		KeepaliveMiss: cfg.KeepaliveMiss,
-	}, wire.SessionConfig{
+		Clock:         cfg.Clock,
+	}
+	scfg := wire.SessionConfig{
 		RedialMin:     cfg.RedialMin,
 		RedialMax:     cfg.RedialMax,
 		Seed:          cfg.Seed + 1,
 		OnStateChange: cfg.OnStateChange,
-	})
+	}
+	var sess *wire.Session
+	var err error
+	if cfg.Dialer != nil {
+		sess, err = wire.DialSessionWith(cfg.Dialer, wcfg, scfg)
+	} else {
+		sess, err = wire.DialSession(addr, wcfg, scfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -748,7 +901,7 @@ func (c *Client) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 
 // BreakerOpen reports whether the circuit breaker is currently rejecting
 // calls (FailoverClient uses this to route around the primary).
-func (c *Client) BreakerOpen() bool { return !c.breaker.allowPeek(time.Now()) }
+func (c *Client) BreakerOpen() bool { return !c.breaker.allowPeek(c.clock.Now()) }
 
 // KnownDraining reports whether this server recently declared itself
 // draining (via a rejection status or a probe). FailoverClient consults it
@@ -756,27 +909,28 @@ func (c *Client) BreakerOpen() bool { return !c.breaker.allowPeek(time.Now()) }
 func (c *Client) KnownDraining() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return time.Now().Before(c.drainingUntil)
+	return c.clock.Now().Before(c.drainingUntil)
 }
 
 func (c *Client) markDraining() {
 	c.mu.Lock()
-	c.drainingUntil = time.Now().Add(drainingTTL)
+	c.drainingUntil = c.clock.Now().Add(drainingTTL)
 	c.mu.Unlock()
 }
 
 // Session exposes the underlying resilient session.
 func (c *Client) Session() *wire.Session { return c.sess }
 
-// Close aborts all pending calls and closes the connection.
+// Close aborts all pending calls with ErrClosed and closes the
+// connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
-	for id, ch := range c.pending {
-		close(ch)
-		delete(c.pending, id)
-	}
+	fins := c.failPendingLocked(ErrClosed)
 	c.mu.Unlock()
+	for _, fin := range fins {
+		fin()
+	}
 	return c.sess.Close()
 }
 
@@ -802,99 +956,38 @@ func (c *Client) onMessage(m wire.Message) {
 		c.markDraining()
 	}
 	c.mu.Lock()
-	ch, ok := c.pending[id]
+	cs, ok := c.pending[id]
+	var fin completion
 	if ok {
 		delete(c.pending, id)
+		fin = cs.onResultLocked(id, res)
 	}
 	c.mu.Unlock()
-	if ok {
-		ch <- res
+	if fin != nil {
+		fin()
 	}
 }
 
-// launch registers a call id and sends the request once, stamping the
-// priority and the remaining deadline budget into the header. When span
-// is non-nil the request frame carries its trace context (wire v3).
-func (c *Client) launch(method uint8, req []byte, prio core.Priority, budget time.Duration, span *obs.Span) (uint64, chan callResult, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return 0, nil, ErrClosed
-	}
-	c.nextID++
-	id := c.nextID
-	ch := make(chan callResult, 1)
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	buf := make([]byte, reqHeader+len(req))
-	binary.LittleEndian.PutUint64(buf, id)
-	buf[8] = method
-	buf[9] = byte(prio)
-	us := budget.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	if us > math.MaxUint32 {
-		us = math.MaxUint32
-	}
-	binary.LittleEndian.PutUint32(buf[10:14], uint32(us))
-	copy(buf[reqHeader:], req)
-
-	var traceID, spanID uint64
-	if span != nil {
-		traceID, spanID = uint64(span.Trace), uint64(span.ID)
-	}
-	ok, err := c.sess.SendTraced(reqStream, buf, traceID, spanID)
-	if err != nil || !ok {
-		c.unregister(id)
-		if err != nil {
-			return 0, nil, err
-		}
-		c.mu.Lock()
-		c.stats.ShedCalls++
-		c.mu.Unlock()
-		return 0, nil, ErrShed
-	}
-	return id, ch, nil
-}
-
-func (c *Client) unregister(id uint64) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
-}
-
-// resolve turns a wire response into the caller's result, counting
-// server-side rejections.
-func (c *Client) resolve(res callResult) ([]byte, error) {
+// resolveLocked turns a wire response into the caller's result, counting
+// server-side rejections. Caller holds c.mu.
+func (c *Client) resolveLocked(res callResult) ([]byte, error) {
 	switch res.status {
 	case statusOK:
 		return res.payload, nil
 	case statusDegraded:
-		c.mu.Lock()
 		c.stats.Degraded++
-		c.mu.Unlock()
 		return res.payload, nil
 	case statusShed:
-		c.mu.Lock()
 		c.stats.ServerSheds++
-		c.mu.Unlock()
 		return nil, ErrServerShed
 	case statusExpired:
-		c.mu.Lock()
 		c.stats.ServerExpired++
-		c.mu.Unlock()
 		return nil, ErrServerExpired
 	case statusCannotFinish:
-		c.mu.Lock()
 		c.stats.ServerCannotFinish++
-		c.mu.Unlock()
 		return nil, ErrCannotFinish
 	case statusDraining:
-		c.mu.Lock()
 		c.stats.ServerDraining++
-		c.mu.Unlock()
 		return nil, ErrDraining
 	default:
 		return nil, fmt.Errorf("rpc: unknown response status %d", res.status)
@@ -912,74 +1005,6 @@ type attemptInfo struct {
 	hedged  bool // the hedged duplicate produced the winning response
 }
 
-// attempt performs one (possibly hedged) request/response exchange.
-func (c *Client) attempt(method uint8, req []byte, prio core.Priority, timeout time.Duration, span *obs.Span) ([]byte, attemptInfo, error) {
-	start := time.Now()
-	var info attemptInfo
-	id1, ch1, err := c.launch(method, req, prio, timeout, span)
-	if err != nil {
-		return nil, info, err
-	}
-	defer c.unregister(id1)
-
-	var hedgeC <-chan time.Time
-	if c.cfg.Hedge.Enabled {
-		if d := c.hedgeDelay(timeout); d < timeout {
-			ht := time.NewTimer(d)
-			defer ht.Stop()
-			hedgeC = ht.C
-		}
-	}
-	var id2 uint64
-	var ch2 chan callResult
-	var hstart time.Time
-	defer func() {
-		if id2 != 0 {
-			c.unregister(id2)
-		}
-	}()
-
-	overall := time.NewTimer(timeout)
-	defer overall.Stop()
-	for {
-		select {
-		case res, open := <-ch1:
-			if !open {
-				return nil, info, ErrClosed
-			}
-			info.rtt = time.Since(start)
-			info.queued, info.service = res.queued, res.service
-			resp, rerr := c.resolve(res)
-			return resp, info, rerr
-		case res, open := <-ch2:
-			if !open {
-				return nil, info, ErrClosed
-			}
-			info.rtt = time.Since(hstart)
-			info.queued, info.service = res.queued, res.service
-			info.hedged = true
-			resp, rerr := c.resolve(res)
-			if rerr == nil {
-				c.mu.Lock()
-				c.stats.HedgeWins++
-				c.mu.Unlock()
-			}
-			return resp, info, rerr
-		case <-hedgeC:
-			hedgeC = nil
-			if hid, hch, herr := c.launch(method, req, prio, timeout-time.Since(start), span); herr == nil {
-				id2, ch2 = hid, hch
-				hstart = time.Now()
-				c.mu.Lock()
-				c.stats.Hedges++
-				c.mu.Unlock()
-			}
-		case <-overall.C:
-			return nil, info, fmt.Errorf("%w after %v", ErrDeadline, timeout)
-		}
-	}
-}
-
 // hedgeDelay picks how long to wait before duplicating a request.
 func (c *Client) hedgeDelay(timeout time.Duration) time.Duration {
 	if c.cfg.Hedge.Delay > 0 {
@@ -993,9 +1018,18 @@ func (c *Client) hedgeDelay(timeout time.Duration) time.Duration {
 
 // Probe asks the server for its health state, bypassing admission
 // control. A draining answer is cached so subsequent failover decisions
-// steer away without a round trip.
+// steer away without a round trip. Probes skip the breaker and the
+// call-level counters — they are how failover looks past an open breaker.
 func (c *Client) Probe(timeout time.Duration) (overload.Probe, error) {
-	payload, _, err := c.attempt(MethodProbe, nil, c.cfg.Priority, timeout, nil)
+	ch := make(chan callOutcome, 1)
+	cs := &callState{
+		c: c, method: MethodProbe, prio: c.cfg.Priority, deadline: timeout,
+		probe: true, attempts: 1, started: c.clock.Now(),
+		done: func(resp []byte, err error) { ch <- callOutcome{resp, err} },
+	}
+	c.startCall(cs)
+	out := <-ch
+	payload, err := out.resp, out.err
 	if err != nil {
 		return 0, err
 	}
@@ -1019,96 +1053,16 @@ func (c *Client) Call(method uint8, req []byte, deadline time.Duration) ([]byte,
 
 // CallPri is Call with an explicit ARTP priority: the server admits
 // PrioHighest into its most protected tier and sheds PrioLowest first.
+// It is a blocking wrapper over CallAsync — do not use it from a
+// simulation's event loop (the wait would deadlock virtual time); issue
+// CallAsync there instead.
 func (c *Client) CallPri(method uint8, req []byte, prio core.Priority, deadline time.Duration) ([]byte, error) {
-	if len(req)+reqHeader > wire.MaxPayload {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooBig, len(req))
-	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	c.stats.Calls++
-	c.mu.Unlock()
-
-	if !c.breaker.allow(time.Now()) {
-		c.mu.Lock()
-		c.stats.BreakerFastFails++
-		c.mu.Unlock()
-		return nil, ErrBreakerOpen
-	}
-
-	attempts := c.cfg.Retry.Max
-	if attempts < 1 {
-		attempts = 1
-	}
-	span := c.cfg.Tracer.StartTrace("call")
-	start := time.Now()
-	var lastErr error
-	var lastInfo attemptInfo
-	used := 0
-	for a := 0; a < attempts; a++ {
-		remaining := deadline - time.Since(start)
-		if remaining <= 0 {
-			if lastErr == nil {
-				lastErr = fmt.Errorf("%w after %v", ErrDeadline, deadline)
-			}
-			break
-		}
-		per := remaining / time.Duration(attempts-a)
-		t0 := time.Now()
-		resp, info, err := c.attempt(method, req, prio, per, span)
-		used = a + 1
-		lastInfo = info
-		if err == nil {
-			c.lat.record(time.Since(t0))
-			c.breaker.record(true, time.Now())
-			c.finishCall(span, info, time.Since(start), used)
-			return resp, nil
-		}
-		lastErr = err
-		if errors.Is(err, ErrClosed) || errors.Is(err, ErrDraining) {
-			// Permanent for this server: no point retrying here — a
-			// failover client moves the call to a backup instead.
-			break
-		}
-		if a < attempts-1 {
-			c.mu.Lock()
-			c.stats.Retries++
-			b := c.cfg.Retry.Backoff
-			if b <= 0 {
-				b = 20 * time.Millisecond
-			}
-			maxB := c.cfg.Retry.MaxBackoff
-			if maxB <= 0 {
-				maxB = 250 * time.Millisecond
-			}
-			b <<= a
-			if b > maxB {
-				b = maxB
-			}
-			sleep := b/2 + time.Duration(c.rng.Int63n(int64(b/2)+1))
-			c.mu.Unlock()
-			if rem := deadline - time.Since(start); sleep > rem {
-				sleep = rem
-			}
-			if sleep > 0 {
-				time.Sleep(sleep)
-			}
-		}
-	}
-	c.breaker.record(false, time.Now())
-	if errors.Is(lastErr, ErrDeadline) {
-		c.mu.Lock()
-		c.stats.Timeouts++
-		c.mu.Unlock()
-	}
-	// Failed calls still produce a report: a refused final attempt carries
-	// the server's queue wait; a timed-out one attributes everything to
-	// overhead. Blown frames that never complete must not vanish from the
-	// budget accounting.
-	c.finishCall(span, lastInfo, time.Since(start), used)
-	return nil, lastErr
+	ch := make(chan callOutcome, 1)
+	c.CallAsync(method, req, prio, deadline, func(resp []byte, err error) {
+		ch <- callOutcome{resp, err}
+	})
+	out := <-ch
+	return out.resp, out.err
 }
 
 // finishCall closes a traced call's span and converts its measured

@@ -112,6 +112,10 @@ func (l *Link) Delay() time.Duration { return l.delay }
 // SetDelay changes the propagation delay for future deliveries.
 func (l *Link) SetDelay(d time.Duration) { l.delay = d }
 
+// SetJitter changes the uniform per-packet extra-delay width for future
+// transmissions (handover scenarios swap the whole radio profile at once).
+func (l *Link) SetJitter(j time.Duration) { l.jitter = j }
+
 // SetLoss changes the random loss probability.
 func (l *Link) SetLoss(p float64) { l.lossP = p }
 

@@ -25,6 +25,7 @@ type Event struct {
 	seq       uint64
 	fn        func()
 	cancelled bool
+	fired     bool
 	index     int // heap index, -1 once popped
 }
 
@@ -38,6 +39,10 @@ func (e *Event) Cancel() {
 
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// Fired reports whether the event's callback has started running. Together
+// with Cancelled it gives timer wrappers time.Timer-style Stop semantics.
+func (e *Event) Fired() bool { return e != nil && e.fired }
 
 // At reports the simulated time the event is scheduled for.
 func (e *Event) At() time.Duration { return e.at }
@@ -134,6 +139,7 @@ func (s *Sim) RunUntil(t time.Duration) error {
 			continue
 		}
 		s.now = next.at
+		next.fired = true
 		next.fn()
 		fired++
 		if fired > s.maxEvent {

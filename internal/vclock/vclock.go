@@ -1,0 +1,69 @@
+// Package vclock defines the injectable clock used by every timing-
+// sensitive layer of the stack (wire keepalive/retransmit/pacing, rpc
+// deadlines/retries/hedging, fault relays). Production code takes a Clock
+// and defaults to System; the simulation testkit (internal/marsim)
+// substitutes a virtual clock driven by internal/simnet so the identical
+// protocol code runs on compressed, deterministic time.
+//
+// The interface is deliberately minimal: a readable now plus one-shot
+// timer scheduling. Periodic work is expressed as an AfterFunc chain that
+// reschedules itself, which maps 1:1 onto discrete-event simulation and
+// avoids the goroutine-per-ticker pattern that cannot be virtualised.
+//
+// Clock-injection rules for new code (see DESIGN §3f):
+//   - never call time.Now, time.Since, time.Sleep, time.NewTimer or
+//     time.NewTicker from protocol logic; take a Clock and use it;
+//   - express periodic loops as AfterFunc chains guarded by the owner's
+//     closed flag under its mutex;
+//   - callbacks fire without locks held; re-check state under the mutex
+//     before acting, because a Stop can race a firing callback.
+package vclock
+
+import "time"
+
+// Clock supplies current time and timer scheduling. Implementations must
+// be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time. On the system clock this carries a
+	// monotonic reading, so Sub/Since are immune to wall-clock steps.
+	Now() time.Time
+	// Since is shorthand for Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// AfterFunc schedules fn to run once after d elapses. fn runs on an
+	// unspecified goroutine (on a virtual clock: the simulation loop).
+	// Non-positive d schedules fn to run as soon as possible.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is a handle to a pending AfterFunc callback.
+type Timer interface {
+	// Stop cancels the callback. It reports whether the cancellation
+	// happened before the callback started; when false, the callback has
+	// run or is running concurrently, so the owner must re-check its own
+	// state under its lock rather than rely on Stop.
+	Stop() bool
+}
+
+// System is the wall-clock implementation backed by package time.
+var System Clock = systemClock{}
+
+// OrSystem returns c, or System when c is nil. Constructors use it so a
+// zero config means real time.
+func OrSystem(c Clock) Clock {
+	if c == nil {
+		return System
+	}
+	return c
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                    { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration   { return time.Since(t) }
+func (systemClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return sysTimer{time.AfterFunc(d, fn)}
+}
+
+type sysTimer struct{ t *time.Timer }
+
+func (s sysTimer) Stop() bool { return s.t.Stop() }

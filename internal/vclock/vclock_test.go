@@ -1,0 +1,53 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSystemNowAdvancesMonotonically(t *testing.T) {
+	a := System.Now()
+	b := System.Now()
+	if b.Before(a) {
+		t.Fatalf("system clock went backwards: %v then %v", a, b)
+	}
+	if d := System.Since(a); d < 0 {
+		t.Fatalf("Since returned negative duration %v", d)
+	}
+}
+
+func TestSystemAfterFuncFiresAndStops(t *testing.T) {
+	var fired atomic.Int32
+	done := make(chan struct{})
+	System.AfterFunc(time.Millisecond, func() {
+		fired.Add(1)
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("AfterFunc never fired")
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("fired %d times, want 1", fired.Load())
+	}
+
+	tm := System.AfterFunc(time.Hour, func() { fired.Add(100) })
+	if !tm.Stop() {
+		t.Fatal("Stop on a far-future timer reported already-fired")
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("stopped timer still fired (count %d)", fired.Load())
+	}
+}
+
+func TestOrSystemDefaultsNil(t *testing.T) {
+	if OrSystem(nil) != System {
+		t.Fatal("OrSystem(nil) != System")
+	}
+	c := systemClock{}
+	if OrSystem(c) != Clock(c) {
+		t.Fatal("OrSystem did not pass through a non-nil clock")
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"marnet/internal/core"
 	"marnet/internal/obs"
+	"marnet/internal/vclock"
 )
 
 // ErrClosed is returned by operations on a closed Conn.
@@ -93,6 +95,11 @@ type Config struct {
 	// not call back into blocking Conn methods from the same goroutine it
 	// wants to keep serviced.
 	OnStateChange func(State)
+	// Clock supplies time and timer scheduling for every protocol timer
+	// (pacing gaps, the retransmit sweep, keepalive). Nil means the system
+	// clock; internal/marsim injects a virtual clock so the identical
+	// protocol code runs on deterministic simulated time.
+	Clock vclock.Clock
 }
 
 type wpending struct {
@@ -136,15 +143,21 @@ type outFrame struct {
 	payload []byte
 }
 
-// Conn is an ARTP endpoint over a UDP socket. Both sides of a connection
-// are symmetric: each may declare sending streams and receive the peer's.
+// sweepInterval is the retransmit sweep period (tail-loss probe cadence).
+const sweepInterval = 50 * time.Millisecond
+
+// Conn is an ARTP endpoint over a datagram transport. Both sides of a
+// connection are symmetric: each may declare sending streams and receive
+// the peer's. All protocol timers (pacing, sweep, keepalive) run as
+// AfterFunc chains on the injected clock, so a Conn over a synchronous
+// simulated transport spawns no goroutines at all.
 type Conn struct {
-	sock  *net.UDPConn
+	pc    PacketConn
+	clock vclock.Clock
 	epoch time.Time
 	cfg   Config
 
 	mu        sync.Mutex
-	cond      *sync.Cond
 	peer      *net.UDPAddr
 	ctrl      *core.Controller
 	streams   map[uint16]*wstream
@@ -155,8 +168,18 @@ type Conn struct {
 	state     State
 	lastHeard time.Time // last authenticated frame from the peer
 
-	// Mux mode: datagrams arrive via recvCh instead of the socket, writes
-	// go through the shared socket, and Close must not close that socket.
+	// Timer chains (guarded by mu). paceTimer is non-nil while a pace fire
+	// is scheduled; nextSend is the earliest instant the next frame may be
+	// serialized, enforcing the budget gap across idle periods.
+	paceTimer  vclock.Timer
+	nextSend   time.Time
+	sweepTimer vclock.Timer
+	kaTimer    vclock.Timer
+
+	// Mux mode: datagrams arrive via the mux's shared transport (through
+	// recvCh and a pump goroutine on asynchronous transports, direct
+	// dispatch on synchronous ones), writes go through the shared
+	// transport, and Close must not close it.
 	recvCh  chan []byte
 	muxced  bool
 	onClose func()
@@ -169,7 +192,7 @@ type Conn struct {
 	AuthFailures int64
 }
 
-// Dial connects to a server and starts the protocol goroutines.
+// Dial connects to a server and starts the protocol machinery.
 func Dial(server string, cfg Config) (*Conn, error) {
 	raddr, err := net.ResolveUDPAddr("udp", server)
 	if err != nil {
@@ -179,7 +202,14 @@ func Dial(server string, cfg Config) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
-	return newConn(sock, raddr, cfg)
+	return newConn(newUDPPacketConn(sock), raddr, cfg)
+}
+
+// DialVia connects to peer over a caller-supplied transport (e.g. a
+// simulated network endpoint from internal/marsim). The Conn owns the
+// transport and closes it on Close.
+func DialVia(pc PacketConn, peer *net.UDPAddr, cfg Config) (*Conn, error) {
+	return newConn(pc, peer, cfg)
 }
 
 // Listen binds a server endpoint; the peer address is learned from the
@@ -193,15 +223,21 @@ func Listen(addr string, cfg Config) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
-	return newConn(sock, nil, cfg)
+	return newConn(newUDPPacketConn(sock), nil, cfg)
 }
 
-func newConn(sock *net.UDPConn, peer *net.UDPAddr, cfg Config) (*Conn, error) {
+// ListenVia is Listen over a caller-supplied transport: the peer address is
+// learned from the first arriving frame.
+func ListenVia(pc PacketConn, cfg Config) (*Conn, error) {
+	return newConn(pc, nil, cfg)
+}
+
+func newConn(pc PacketConn, peer *net.UDPAddr, cfg Config) (*Conn, error) {
 	var sl *sealer
 	if cfg.Key != nil {
 		var err error
 		if sl, err = newSealer(cfg.Key); err != nil {
-			sock.Close()
+			pc.Close()
 			return nil, err
 		}
 	}
@@ -211,19 +247,23 @@ func newConn(sock *net.UDPConn, peer *net.UDPAddr, cfg Config) (*Conn, error) {
 	if cfg.RetxLimit <= 0 {
 		cfg.RetxLimit = 3
 	}
-	c := newConnCommon(sock, peer, cfg, sl)
+	c := newConnCommon(pc, peer, cfg, sl)
 	c.start()
 	return c, nil
 }
 
-// newConnCommon builds the connection state without launching goroutines.
-func newConnCommon(sock *net.UDPConn, peer *net.UDPAddr, cfg Config, sl *sealer) *Conn {
+// newConnCommon builds the connection state without starting delivery or
+// timers.
+func newConnCommon(pc PacketConn, peer *net.UDPAddr, cfg Config, sl *sealer) *Conn {
 	if cfg.KeepaliveMiss <= 0 {
 		cfg.KeepaliveMiss = 3
 	}
+	clock := vclock.OrSystem(cfg.Clock)
+	now := clock.Now()
 	c := &Conn{
-		sock:      sock,
-		epoch:     time.Now(),
+		pc:        pc,
+		clock:     clock,
+		epoch:     now,
 		cfg:       cfg,
 		peer:      peer,
 		ctrl:      core.NewController(cfg.StartBudget),
@@ -231,14 +271,14 @@ func newConnCommon(sock *net.UDPConn, peer *net.UDPAddr, cfg Config, sl *sealer)
 		done:      make(chan struct{}),
 		sealer:    sl,
 		state:     StateActive,
-		lastHeard: time.Now(),
+		lastHeard: now,
+		nextSend:  now,
 	}
-	c.cond = sync.NewCond(&c.mu)
 	for _, spec := range cfg.Streams {
 		c.streams[spec.ID] = &wstream{
 			spec:        spec,
 			tokens:      4 * 1500, // initial burst credit
-			lastFill:    time.Now(),
+			lastFill:    now,
 			outstanding: make(map[int64]*wpending),
 			maxAcked:    -1,
 			received:    make(map[int64]bool),
@@ -250,54 +290,63 @@ func newConnCommon(sock *net.UDPConn, peer *net.UDPAddr, cfg Config, sl *sealer)
 	return c
 }
 
-// start launches the protocol goroutines.
+// start begins inbound delivery and arms the periodic timer chains.
 func (c *Conn) start() {
-	c.wg.Add(3)
-	go c.readLoop()
-	go c.paceLoop()
-	go c.sweepLoop()
-	if c.cfg.Keepalive > 0 {
+	if !c.muxced {
+		c.pc.Start(c.handleDatagram)
+	} else if !c.pc.Synchronous() {
 		c.wg.Add(1)
-		go c.keepaliveLoop()
+		go c.muxPump()
+	}
+	c.mu.Lock()
+	c.sweepTimer = c.clock.AfterFunc(sweepInterval, c.sweepFire)
+	if c.cfg.Keepalive > 0 {
+		c.kaTimer = c.clock.AfterFunc(c.cfg.Keepalive, c.keepaliveFire)
+	}
+	c.mu.Unlock()
+}
+
+// muxPump feeds datagrams queued by an asynchronous mux into the protocol;
+// synchronous (simulated) transports dispatch directly instead.
+func (c *Conn) muxPump() {
+	defer c.wg.Done()
+	for {
+		select {
+		case dgram := <-c.recvCh:
+			c.handleDatagram(dgram, c.peer)
+		case <-c.done:
+			return
+		}
 	}
 }
 
-// keepaliveLoop probes the peer every Keepalive interval and flips the
+// keepaliveFire probes the peer every Keepalive interval and flips the
 // connection state when the silence threshold is crossed (Section VI:
 // dead-peer detection is what lets the session layer fail over instead of
 // stalling on a blackholed path).
-func (c *Conn) keepaliveLoop() {
-	defer c.wg.Done()
+func (c *Conn) keepaliveFire() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
 	interval := c.cfg.Keepalive
 	deadAfter := time.Duration(c.cfg.KeepaliveMiss) * interval
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-c.done:
-			return
-		case <-ticker.C:
-		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			return
-		}
-		peer := c.peer
-		silent := time.Since(c.lastHeard)
-		notify := State(-1)
-		if c.state == StateActive && silent >= deadAfter {
-			c.state = StateDead
-			notify = StateDead
-		}
-		c.mu.Unlock()
-		if notify != State(-1) && c.cfg.OnStateChange != nil {
-			c.cfg.OnStateChange(notify)
-		}
-		if peer != nil {
-			ping := Header{Type: TypePing, SendMicro: uint64(c.now().Microseconds())}
-			c.writeFrame(ping, nil, peer) //nolint:errcheck // best-effort probe
-		}
+	peer := c.peer
+	silent := c.clock.Now().Sub(c.lastHeard)
+	notify := State(-1)
+	if c.state == StateActive && silent >= deadAfter {
+		c.state = StateDead
+		notify = StateDead
+	}
+	c.kaTimer = c.clock.AfterFunc(interval, c.keepaliveFire)
+	c.mu.Unlock()
+	if notify != State(-1) && c.cfg.OnStateChange != nil {
+		c.cfg.OnStateChange(notify)
+	}
+	if peer != nil {
+		ping := Header{Type: TypePing, SendMicro: uint64(c.now().Microseconds())}
+		c.writeFrame(ping, nil, peer) //nolint:errcheck // best-effort probe
 	}
 }
 
@@ -317,8 +366,8 @@ func (c *Conn) LastActivity() time.Time {
 }
 
 // writeFrame seals (when a key is configured) and transmits one frame to
-// the peer. It takes no locks itself; UDP datagram writes are safe to
-// issue concurrently.
+// the peer. It takes no locks itself; datagram writes are safe to issue
+// concurrently.
 func (c *Conn) writeFrame(h Header, payload []byte, peer *net.UDPAddr) error {
 	if peer == nil {
 		return nil
@@ -334,13 +383,13 @@ func (c *Conn) writeFrame(h Header, payload []byte, peer *net.UDPAddr) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.sock.WriteToUDP(frame, peer)
+	_, err = c.pc.WriteToUDP(frame, peer)
 	return err
 }
 
 // LocalAddr returns the bound UDP address.
 func (c *Conn) LocalAddr() *net.UDPAddr {
-	addr, _ := c.sock.LocalAddr().(*net.UDPAddr)
+	addr, _ := c.pc.LocalAddr().(*net.UDPAddr)
 	return addr
 }
 
@@ -360,7 +409,7 @@ func (c *Conn) SRTT() time.Duration {
 	return c.ctrl.SRTT()
 }
 
-// Close stops all goroutines and closes the socket.
+// Close stops all timers and closes the transport.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -370,7 +419,12 @@ func (c *Conn) Close() error {
 	c.closed = true
 	c.state = StateClosed
 	close(c.done)
-	c.cond.Broadcast()
+	for _, t := range []vclock.Timer{c.paceTimer, c.sweepTimer, c.kaTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	c.paceTimer, c.sweepTimer, c.kaTimer = nil, nil, nil
 	c.mu.Unlock()
 	if c.cfg.OnStateChange != nil {
 		c.cfg.OnStateChange(StateClosed)
@@ -381,21 +435,28 @@ func (c *Conn) Close() error {
 			c.onClose()
 		}
 	} else {
-		err = c.sock.Close()
+		err = c.pc.Close()
 	}
 	c.wg.Wait()
 	return err
 }
 
-func (c *Conn) now() time.Duration { return time.Since(c.epoch) }
+func (c *Conn) now() time.Duration { return c.clock.Now().Sub(c.epoch) }
 
 // reallocateLocked distributes the budget across streams by priority; the
 // caller must hold mu (the controller invokes it via OnChange from paths
-// that do).
+// that do). Streams are visited in sorted-id order within each priority so
+// allocation is deterministic under a virtual clock.
 func (c *Conn) reallocateLocked() {
+	ids := make([]uint16, 0, len(c.streams))
+	for id := range c.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	remaining := c.ctrl.Budget()
 	for p := core.PrioHighest; p <= core.PrioLowest; p++ {
-		for _, st := range c.streams {
+		for _, id := range ids {
+			st := c.streams[id]
 			if st.spec.Priority != p {
 				continue
 			}
@@ -440,7 +501,7 @@ func (c *Conn) SendTraced(streamID uint16, payload []byte, traceID, spanID uint6
 	if !ok {
 		return false, fmt.Errorf("wire: unknown stream %d", streamID)
 	}
-	now := time.Now()
+	now := c.clock.Now()
 	dt := now.Sub(st.lastFill).Seconds()
 	st.lastFill = now
 	size := len(payload) + HeaderLen
@@ -481,63 +542,74 @@ func (c *Conn) enqueueLocked(st *wstream, seq int64, payload []byte, traceID, sp
 	}
 	band := st.spec.Priority.Band()
 	c.bands[band] = append(c.bands[band], outFrame{hdr: hdr, payload: payload})
-	c.cond.Signal()
+	c.schedulePaceLocked()
 }
 
-// paceLoop drains the priority bands at the controller budget.
-func (c *Conn) paceLoop() {
-	defer c.wg.Done()
-	for {
-		c.mu.Lock()
-		for !c.closed && c.emptyBandsLocked() {
-			c.cond.Wait()
-		}
-		if c.closed {
-			c.mu.Unlock()
-			return
-		}
-		var f outFrame
-		for b := range c.bands {
-			if len(c.bands[b]) > 0 {
-				f = c.bands[b][0]
-				c.bands[b] = c.bands[b][1:]
-				break
-			}
-		}
-		f.hdr.SendMicro = uint64(c.now().Microseconds())
-		if st := c.streams[f.hdr.Stream]; st != nil {
-			if pp, ok := st.outstanding[f.hdr.Seq]; ok {
-				pp.queued = false
-				pp.lastSent = time.Now()
-			}
-			st.sent++
-		}
-		peer := c.peer
-		budget := c.ctrl.Budget()
-		c.mu.Unlock()
+// schedulePaceLocked arms the pace timer if frames are queued and no fire
+// is pending. The delay honours nextSend, so the budget gap survives idle
+// periods between enqueues.
+func (c *Conn) schedulePaceLocked() {
+	if c.paceTimer != nil || c.closed || c.emptyBandsLocked() {
+		return
+	}
+	d := c.nextSend.Sub(c.clock.Now())
+	if d < 0 {
+		d = 0
+	}
+	c.paceTimer = c.clock.AfterFunc(d, c.paceFire)
+}
 
-		if err := c.writeFrame(f.hdr, f.payload, peer); err == nil && peer != nil {
-			c.mu.Lock()
-			c.SentFrames++
-			c.mu.Unlock()
+// paceFire serializes exactly one frame from the highest non-empty band at
+// the controller budget, then re-arms itself if more are queued.
+func (c *Conn) paceFire() {
+	c.mu.Lock()
+	c.paceTimer = nil
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	var f outFrame
+	found := false
+	for b := range c.bands {
+		if len(c.bands[b]) > 0 {
+			f = c.bands[b][0]
+			c.bands[b] = c.bands[b][1:]
+			found = true
+			break
 		}
-		if budget < 1 {
-			budget = 1
+	}
+	if !found {
+		c.mu.Unlock()
+		return
+	}
+	f.hdr.SendMicro = uint64(c.now().Microseconds())
+	if st := c.streams[f.hdr.Stream]; st != nil {
+		if pp, ok := st.outstanding[f.hdr.Seq]; ok {
+			pp.queued = false
+			pp.lastSent = c.clock.Now()
 		}
-		wireLen := HeaderLen + len(f.payload)
-		if c.sealer != nil {
-			wireLen += sealedOver
-		}
-		gap := time.Duration(float64(wireLen*8) / budget * float64(time.Second))
-		if gap > 0 {
-			timer := time.NewTimer(gap)
-			select {
-			case <-timer.C:
-			case <-c.done:
-				timer.Stop()
-				return
-			}
-		}
+		st.sent++
+	}
+	peer := c.peer
+	budget := c.ctrl.Budget()
+	if budget < 1 {
+		budget = 1
+	}
+	wireLen := HeaderLen + len(f.payload)
+	if c.sealer != nil {
+		wireLen += sealedOver
+	}
+	gap := time.Duration(float64(wireLen*8) / budget * float64(time.Second))
+	c.nextSend = c.clock.Now().Add(gap)
+	if !c.emptyBandsLocked() {
+		c.paceTimer = c.clock.AfterFunc(gap, c.paceFire)
+	}
+	c.mu.Unlock()
+
+	if err := c.writeFrame(f.hdr, f.payload, peer); err == nil && peer != nil {
+		c.mu.Lock()
+		c.SentFrames++
+		c.mu.Unlock()
 	}
 }
 
@@ -550,69 +622,54 @@ func (c *Conn) emptyBandsLocked() bool {
 	return true
 }
 
-// readLoop parses incoming frames until the socket closes.
-func (c *Conn) readLoop() {
-	defer c.wg.Done()
-	buf := make([]byte, 65535)
-	for {
-		var n int
-		var raddr *net.UDPAddr
-		if c.muxced {
-			select {
-			case dgram := <-c.recvCh:
-				n = copy(buf, dgram)
-				raddr = c.peer
-			case <-c.done:
-				return
-			}
-		} else {
-			var err error
-			n, raddr, err = c.sock.ReadFromUDP(buf)
-			if err != nil {
-				return // closed
-			}
+// handleDatagram parses and processes one inbound datagram. It is the
+// transport's delivery callback: on a real socket it runs on the reader
+// goroutine, on a simulated transport it runs on the event loop.
+func (c *Conn) handleDatagram(dgram []byte, raddr *net.UDPAddr) {
+	hdr, payload, derr := DecodeFrame(dgram)
+	if derr != nil {
+		return // ignore malformed datagrams
+	}
+	if c.sealer != nil {
+		plain, oerr := c.sealer.open(hdr, payload)
+		if oerr != nil {
+			c.mu.Lock()
+			c.AuthFailures++
+			c.mu.Unlock()
+			return
 		}
-		hdr, payload, derr := DecodeFrame(buf[:n])
-		if derr != nil {
-			continue // ignore malformed datagrams
-		}
-		if c.sealer != nil {
-			plain, oerr := c.sealer.open(hdr, payload)
-			if oerr != nil {
-				c.mu.Lock()
-				c.AuthFailures++
-				c.mu.Unlock()
-				continue
-			}
-			payload = plain
-		}
-		c.mu.Lock()
-		if c.peer == nil {
-			c.peer = raddr
-		}
-		c.lastHeard = time.Now()
-		revived := false
-		if c.state == StateDead {
-			c.state = StateActive
-			revived = true
-		}
-		switch hdr.Type {
-		case TypeData:
-			c.onDataLocked(hdr, payload)
-		case TypeAck:
-			c.onAckLocked(hdr)
-		case TypeNack:
-			c.onNackLocked(hdr, payload)
-		case TypePing:
-			pong := Header{Type: TypePong, SendMicro: hdr.SendMicro}
-			c.writeFrame(pong, nil, c.peer) //nolint:errcheck // best-effort heartbeat
-		case TypePong:
-			// Liveness is the lastHeard update above; nothing else to do.
-		}
+		payload = plain
+	}
+	c.mu.Lock()
+	if c.closed {
 		c.mu.Unlock()
-		if revived && c.cfg.OnStateChange != nil {
-			c.cfg.OnStateChange(StateActive)
-		}
+		return
+	}
+	if c.peer == nil {
+		c.peer = raddr
+	}
+	c.lastHeard = c.clock.Now()
+	revived := false
+	if c.state == StateDead {
+		c.state = StateActive
+		revived = true
+	}
+	switch hdr.Type {
+	case TypeData:
+		c.onDataLocked(hdr, payload)
+	case TypeAck:
+		c.onAckLocked(hdr)
+	case TypeNack:
+		c.onNackLocked(hdr, payload)
+	case TypePing:
+		pong := Header{Type: TypePong, SendMicro: hdr.SendMicro}
+		c.writeFrame(pong, nil, c.peer) //nolint:errcheck // best-effort heartbeat
+	case TypePong:
+		// Liveness is the lastHeard update above; nothing else to do.
+	}
+	c.mu.Unlock()
+	if revived && c.cfg.OnStateChange != nil {
+		c.cfg.OnStateChange(StateActive)
 	}
 }
 
@@ -636,7 +693,7 @@ func (c *Conn) onDataLocked(hdr Header, payload []byte) {
 			maxAcked:    -1,
 			received:    make(map[int64]bool),
 			nacked:      make(map[int64]int),
-			lastFill:    time.Now(),
+			lastFill:    c.clock.Now(),
 		}
 		c.streams[hdr.Stream] = st
 	}
@@ -697,9 +754,18 @@ func (c *Conn) onAckLocked(hdr Header) {
 	if hdr.Seq > st.maxAcked {
 		st.maxAcked = hdr.Seq
 	}
+	// Collect loss candidates first and process them in sequence order so
+	// retransmission order is independent of map iteration.
 	const reorderSlack = 3
+	var lost []int64
 	for seq, pp := range st.outstanding {
 		if seq < st.maxAcked-reorderSlack && c.lossEligibleLocked(pp) {
+			lost = append(lost, seq)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, seq := range lost {
+		if pp, ok := st.outstanding[seq]; ok {
 			c.onLostLocked(st, seq, pp)
 		}
 	}
@@ -729,14 +795,14 @@ func (c *Conn) lossEligibleLocked(pp *wpending) bool {
 	if guard < 5*time.Millisecond {
 		guard = 5 * time.Millisecond
 	}
-	return time.Since(pp.lastSent) >= guard
+	return c.clock.Since(pp.lastSent) >= guard
 }
 
 func (c *Conn) onLostLocked(st *wstream, seq int64, pp *wpending) {
 	c.ctrl.OnLoss(c.now(), !st.spec.Priority.Discardable())
 	if pp.class == core.ClassLossRecovery {
 		affordable := pp.deadline.IsZero() ||
-			(c.ctrl.SRTT() > 0 && time.Now().Add(c.ctrl.SRTT()/2).Before(pp.deadline))
+			(c.ctrl.SRTT() > 0 && c.clock.Now().Add(c.ctrl.SRTT()/2).Before(pp.deadline))
 		if !affordable || pp.retx >= c.cfg.RetxLimit {
 			delete(st.outstanding, seq)
 			return
@@ -752,35 +818,42 @@ func (c *Conn) onLostLocked(st *wstream, seq int64, pp *wpending) {
 	c.enqueueLocked(st, seq, pp.payload, pp.traceID, pp.spanID)
 }
 
-// sweepLoop retransmits reliable tail losses that produce no gap signal.
-func (c *Conn) sweepLoop() {
-	defer c.wg.Done()
-	ticker := time.NewTicker(50 * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-c.done:
-			return
-		case <-ticker.C:
+// sweepFire retransmits reliable tail losses that produce no gap signal,
+// then re-arms itself. Streams and sequences are visited in sorted order
+// so the retransmission schedule is deterministic.
+func (c *Conn) sweepFire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	stale := 2 * c.ctrl.SRTT()
+	if stale < 100*time.Millisecond {
+		stale = 100 * time.Millisecond
+	}
+	ids := make([]uint16, 0, len(c.streams))
+	for id := range c.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := c.streams[id]
+		seqs := make([]int64, 0, len(st.outstanding))
+		for seq := range st.outstanding {
+			seqs = append(seqs, seq)
 		}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			return
-		}
-		stale := 2 * c.ctrl.SRTT()
-		if stale < 100*time.Millisecond {
-			stale = 100 * time.Millisecond
-		}
-		for _, st := range c.streams {
-			for seq, pp := range st.outstanding {
-				if !pp.queued && !pp.lastSent.IsZero() && time.Since(pp.lastSent) >= stale {
-					c.onLostLocked(st, seq, pp)
-				}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			pp, ok := st.outstanding[seq]
+			if !ok {
+				continue
+			}
+			if !pp.queued && !pp.lastSent.IsZero() && c.clock.Since(pp.lastSent) >= stale {
+				c.onLostLocked(st, seq, pp)
 			}
 		}
-		c.mu.Unlock()
 	}
+	c.sweepTimer = c.clock.AfterFunc(sweepInterval, c.sweepFire)
 }
 
 // StreamStats is a snapshot of one stream's counters.

@@ -176,6 +176,12 @@ func DecodeFrame(buf []byte) (Header, []byte, error) {
 	default:
 		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadType, h.Type)
 	}
+	// Mirror the encoder's bound: no conforming sender emits a payload
+	// above MaxPayload, so anything larger is corruption or an attack, and
+	// accepting it would yield headers that cannot round-trip.
+	if int(h.PayloadLen) > MaxPayload {
+		return Header{}, nil, fmt.Errorf("%w: %d bytes", ErrOversize, h.PayloadLen)
+	}
 	end := hlen + int(h.PayloadLen)
 	if len(buf) < end {
 		return Header{}, nil, ErrTruncated

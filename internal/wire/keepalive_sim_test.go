@@ -1,0 +1,164 @@
+package wire_test
+
+// The keepalive suite runs on the simulated network and virtual clock:
+// the identical Conn code that runs over kernel UDP sockets in the rest
+// of the wire tests, but with dead-peer detection timed in exact virtual
+// milliseconds and zero wall-clock sleeps. These migrate (and tighten)
+// the former wall-clock keepalive tests.
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/core"
+	"marnet/internal/marsim"
+	"marnet/internal/phy"
+	"marnet/internal/wire"
+)
+
+// lossless is a jitter-free, loss-free radio for exact-timing assertions.
+var lossless = phy.Profile{Name: "lossless", Up: 10e6, Down: 10e6, OneWay: 5 * time.Millisecond}
+
+func TestKeepaliveDetectsDeadPeerVirtual(t *testing.T) {
+	s := marsim.NewScenario("keepalive-dead", 3)
+	serverEp := s.Net.NewEndpoint("server", lossless)
+	server, err := wire.ListenVia(serverEp, wire.Config{Clock: s.Clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const interval = 50 * time.Millisecond
+	type change struct {
+		state wire.State
+		at    time.Duration
+	}
+	var changes []change
+	clientEp := s.Net.NewEndpoint("client", lossless)
+	client, err := wire.DialVia(clientEp, serverEp.UDPAddr(), wire.Config{
+		Streams:       []wire.StreamSpec{{ID: 1, Class: core.ClassCritical, Priority: core.PrioHighest, Rate: 1e6}},
+		Keepalive:     interval,
+		KeepaliveMiss: 3,
+		Clock:         s.Clock,
+		OnStateChange: func(st wire.State) { changes = append(changes, change{st, s.Sim.Now()}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Send(1, []byte("hello")) //nolint:errcheck
+
+	// Establish liveness, then kill the server: the path goes silent.
+	const killAt = 100 * time.Millisecond
+	s.At(killAt, func() {
+		if client.State() != wire.StateActive {
+			t.Errorf("state = %v before outage", client.State())
+		}
+		server.Close()
+	})
+	s.Defer(func() { client.Close() })
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var deadAt time.Duration
+	for _, ch := range changes {
+		if ch.state == wire.StateDead {
+			deadAt = ch.at
+			break
+		}
+	}
+	if deadAt == 0 {
+		t.Fatal("dead peer never detected")
+	}
+	// The threshold is KeepaliveMiss probe intervals of silence, detected
+	// at the next probe tick: on the virtual clock, detection lands in
+	// (3, 4] intervals after the last pong — no scheduling slack needed.
+	took := deadAt - killAt
+	if took < 3*interval || took > 4*interval+10*time.Millisecond {
+		t.Errorf("detection took %v after kill, want within (%v, %v]", took, 3*interval, 4*interval)
+	}
+}
+
+func TestKeepalivePingsKeepIdleConnectionAliveVirtual(t *testing.T) {
+	// A peer that answers pings keeps the connection Active through a long
+	// app-level silence (no false positives) — ten probe intervals of idle
+	// virtual time, zero wall sleeps.
+	s := marsim.NewScenario("keepalive-idle", 4)
+	serverEp := s.Net.NewEndpoint("server", lossless)
+	server, err := wire.ListenVia(serverEp, wire.Config{Clock: s.Clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientEp := s.Net.NewEndpoint("client", lossless)
+	client, err := wire.DialVia(clientEp, serverEp.UDPAddr(), wire.Config{
+		Keepalive: 40 * time.Millisecond,
+		Clock:     s.Clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.At(400*time.Millisecond, func() {
+		if client.State() != wire.StateActive {
+			t.Errorf("state = %v after idle period with live peer", client.State())
+		}
+	})
+	s.Defer(func() { server.Close() })
+	s.Defer(func() { client.Close() })
+	if err := s.Run(450 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimDeliveryInvariants(t *testing.T) {
+	// The per-stream sequence invariants on the simulated network: on a
+	// loss-free FIFO path delivery is strictly monotonic; on a lossy path
+	// retransmission recovers every message exactly once (no duplicates).
+	cases := []struct {
+		name   string
+		loss   float64
+		strict bool
+	}{
+		{"lossless-strict", 0, true},
+		{"lossy-exactly-once", 0.05, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := marsim.NewScenario("delivery-"+tc.name, 11)
+			prof := lossless
+			prof.Loss = tc.loss
+			serverEp := s.Net.NewEndpoint("server", prof)
+			checker := marsim.NewSeqChecker(tc.strict)
+			server, err := wire.ListenVia(serverEp, wire.Config{
+				Clock:     s.Clock,
+				OnMessage: checker.Wrap(nil),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clientEp := s.Net.NewEndpoint("client", prof)
+			client, err := wire.DialVia(clientEp, serverEp.UDPAddr(), wire.Config{
+				Streams:     []wire.StreamSpec{{ID: 1, Class: core.ClassCritical, Priority: core.PrioHighest, Rate: 2e6}},
+				StartBudget: 5e6,
+				Clock:       s.Clock,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 50
+			for i := 0; i < n; i++ {
+				if _, err := client.Send(1, []byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Defer(func() { server.Close() })
+			s.Defer(func() { client.Close() })
+			if err := s.Run(3 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if err := checker.Err(); err != nil {
+				t.Error(err)
+			}
+			if got := checker.Delivered(1); got != n {
+				t.Errorf("delivered %d/%d distinct seqs", got, n)
+			}
+		})
+	}
+}

@@ -3,19 +3,23 @@ package wire
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
+
+	"marnet/internal/vclock"
 )
 
-// Mux serves many ARTP peers over one UDP socket: each remote address gets
-// its own Conn (own streams, own congestion controller, own
+// Mux serves many ARTP peers over one datagram transport: each remote
+// address gets its own Conn (own streams, own congestion controller, own
 // retransmission state), which is what a real offloading server needs —
 // one surrogate, many mobile devices.
 type Mux struct {
-	sock *net.UDPConn
-	// ConfigFor builds the per-peer Config. It runs on the read loop when
-	// a new peer's first datagram arrives; returning a Config with a nil
-	// OnMessage is fine (data is still acked).
+	pc    PacketConn
+	clock vclock.Clock
+	// ConfigFor builds the per-peer Config. It runs on the delivery path
+	// when a new peer's first datagram arrives; returning a Config with a
+	// nil OnMessage is fine (data is still acked).
 	configFor func(peer *net.UDPAddr) Config
 	// OnConn, when set, is invoked for every newly accepted peer. Set it
 	// via SetOnConn (or before any client traffic arrives).
@@ -27,8 +31,8 @@ type Mux struct {
 	conns        map[string]*Conn
 	onConnClosed func(conn *Conn, peer *net.UDPAddr)
 	closed       bool
+	evictTimer   vclock.Timer
 	done         chan struct{}
-	wg           sync.WaitGroup
 
 	// Stats (guarded by mu).
 	Accepted int64
@@ -47,12 +51,15 @@ func WithIdleTimeout(d time.Duration) MuxOption {
 	return func(m *Mux) { m.idleTimeout = d }
 }
 
+// WithMuxClock injects the clock driving idle eviction and every per-peer
+// connection whose Config leaves Clock nil. Defaults to the system clock.
+func WithMuxClock(clock vclock.Clock) MuxOption {
+	return func(m *Mux) { m.clock = clock }
+}
+
 // ListenMux binds addr and starts accepting peers. configFor must not be
 // nil.
 func ListenMux(addr string, configFor func(peer *net.UDPAddr) Config, opts ...MuxOption) (*Mux, error) {
-	if configFor == nil {
-		return nil, fmt.Errorf("wire: nil configFor")
-	}
 	laddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: resolve %q: %w", addr, err)
@@ -61,8 +68,23 @@ func ListenMux(addr string, configFor func(peer *net.UDPAddr) Config, opts ...Mu
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
+	m, err := ListenMuxVia(newUDPPacketConn(sock), configFor, opts...)
+	if err != nil {
+		sock.Close()
+	}
+	return m, err
+}
+
+// ListenMuxVia accepts peers over a caller-supplied transport (e.g. a
+// simulated network endpoint). The Mux owns the transport and closes it on
+// Close.
+func ListenMuxVia(pc PacketConn, configFor func(peer *net.UDPAddr) Config, opts ...MuxOption) (*Mux, error) {
+	if configFor == nil {
+		return nil, fmt.Errorf("wire: nil configFor")
+	}
 	m := &Mux{
-		sock:      sock,
+		pc:        pc,
+		clock:     vclock.System,
 		configFor: configFor,
 		conns:     make(map[string]*Conn),
 		done:      make(chan struct{}),
@@ -70,12 +92,12 @@ func ListenMux(addr string, configFor func(peer *net.UDPAddr) Config, opts ...Mu
 	for _, opt := range opts {
 		opt(m)
 	}
-	m.wg.Add(1)
-	go m.readLoop()
 	if m.idleTimeout > 0 {
-		m.wg.Add(1)
-		go m.evictLoop()
+		m.mu.Lock()
+		m.evictTimer = m.clock.AfterFunc(m.evictPeriod(), m.evictFire)
+		m.mu.Unlock()
 	}
+	m.pc.Start(m.route)
 	return m, nil
 }
 
@@ -97,39 +119,46 @@ func (m *Mux) SetOnConnClosed(fn func(conn *Conn, peer *net.UDPAddr)) {
 	m.mu.Unlock()
 }
 
-// evictLoop closes peers that have been silent longer than idleTimeout.
-func (m *Mux) evictLoop() {
-	defer m.wg.Done()
+func (m *Mux) evictPeriod() time.Duration {
 	period := m.idleTimeout / 4
 	if period < 5*time.Millisecond {
 		period = 5 * time.Millisecond
 	}
-	ticker := time.NewTicker(period)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-m.done:
-			return
-		case <-ticker.C:
-		}
-		var idle []*Conn
-		m.mu.Lock()
-		for _, c := range m.conns {
-			if time.Since(c.LastActivity()) > m.idleTimeout {
-				idle = append(idle, c)
-				m.Evicted++
-			}
-		}
+	return period
+}
+
+// evictFire closes peers that have been silent longer than idleTimeout and
+// re-arms itself. Peers are scanned in sorted-key order so eviction order
+// is deterministic under a virtual clock.
+func (m *Mux) evictFire() {
+	var idle []*Conn
+	m.mu.Lock()
+	if m.closed {
 		m.mu.Unlock()
-		for _, c := range idle {
-			c.Close() //nolint:errcheck // eviction is best-effort
+		return
+	}
+	keys := make([]string, 0, len(m.conns))
+	for k := range m.conns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := m.conns[k]
+		if m.clock.Since(c.LastActivity()) > m.idleTimeout {
+			idle = append(idle, c)
+			m.Evicted++
 		}
+	}
+	m.evictTimer = m.clock.AfterFunc(m.evictPeriod(), m.evictFire)
+	m.mu.Unlock()
+	for _, c := range idle {
+		c.Close() //nolint:errcheck // eviction is best-effort
 	}
 }
 
 // LocalAddr returns the bound address.
 func (m *Mux) LocalAddr() *net.UDPAddr {
-	addr, _ := m.sock.LocalAddr().(*net.UDPAddr)
+	addr, _ := m.pc.LocalAddr().(*net.UDPAddr)
 	return addr
 }
 
@@ -144,7 +173,7 @@ func (m *Mux) Conns() []*Conn {
 	return out
 }
 
-// Close shuts down every peer connection and the socket.
+// Close shuts down every peer connection and the transport.
 func (m *Mux) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -153,6 +182,10 @@ func (m *Mux) Close() error {
 	}
 	m.closed = true
 	close(m.done)
+	if m.evictTimer != nil {
+		m.evictTimer.Stop()
+		m.evictTimer = nil
+	}
 	conns := make([]*Conn, 0, len(m.conns))
 	for _, c := range m.conns {
 		conns = append(conns, c)
@@ -163,31 +196,30 @@ func (m *Mux) Close() error {
 	for _, c := range conns {
 		c.Close() //nolint:errcheck // best-effort teardown
 	}
-	err := m.sock.Close()
-	m.wg.Wait()
-	return err
+	return m.pc.Close()
 }
 
-func (m *Mux) readLoop() {
-	defer m.wg.Done()
-	buf := make([]byte, 65535)
-	for {
-		n, raddr, err := m.sock.ReadFromUDP(buf)
-		if err != nil {
-			return // closed
-		}
-		conn := m.connFor(raddr)
-		if conn == nil {
-			continue // shutting down
-		}
-		dgram := append([]byte(nil), buf[:n]...)
-		select {
-		case conn.recvCh <- dgram:
-		default:
-			m.mu.Lock()
-			m.Overruns++
-			m.mu.Unlock()
-		}
+// route is the transport's delivery callback: it finds (or creates) the
+// peer's connection and hands the datagram over. On an asynchronous
+// transport each peer has a bounded queue and a pump goroutine, so one
+// slow peer cannot stall the others; a synchronous (simulated) transport
+// dispatches inline on the event loop.
+func (m *Mux) route(dgram []byte, raddr *net.UDPAddr) {
+	conn := m.connFor(raddr)
+	if conn == nil {
+		return // shutting down
+	}
+	if m.pc.Synchronous() {
+		conn.handleDatagram(dgram, raddr)
+		return
+	}
+	copied := append([]byte(nil), dgram...)
+	select {
+	case conn.recvCh <- copied:
+	default:
+		m.mu.Lock()
+		m.Overruns++
+		m.mu.Unlock()
 	}
 }
 
@@ -250,7 +282,7 @@ func (m *Mux) dropConn(key string, c *Conn) {
 	}
 }
 
-// newMuxConn builds a per-peer Conn that shares the mux socket.
+// newMuxConn builds a per-peer Conn that shares the mux transport.
 func newMuxConn(m *Mux, peer *net.UDPAddr, cfg Config) (*Conn, error) {
 	var sl *sealer
 	if cfg.Key != nil {
@@ -265,9 +297,14 @@ func newMuxConn(m *Mux, peer *net.UDPAddr, cfg Config) (*Conn, error) {
 	if cfg.RetxLimit <= 0 {
 		cfg.RetxLimit = 3
 	}
-	c := newConnCommon(m.sock, peer, cfg, sl)
+	if cfg.Clock == nil {
+		cfg.Clock = m.clock
+	}
+	c := newConnCommon(m.pc, peer, cfg, sl)
 	c.muxced = true
-	c.recvCh = make(chan []byte, 256)
+	if !m.pc.Synchronous() {
+		c.recvCh = make(chan []byte, 256)
+	}
 	key := peer.String()
 	c.onClose = func() { m.dropConn(key, c) }
 	c.start()

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"net"
+	"sync"
+)
+
+// PacketConn abstracts the datagram socket under a Conn or Mux so the
+// identical protocol code runs over a real kernel UDP socket or the
+// in-memory simulated network in internal/marsim. Implementations must be
+// safe for concurrent WriteToUDP calls.
+type PacketConn interface {
+	// WriteToUDP transmits one datagram to addr.
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	// LocalAddr reports the bound local address.
+	LocalAddr() net.Addr
+	// Close releases the transport. After Close returns, the recv callback
+	// installed by Start will not be invoked again.
+	Close() error
+	// Start installs the inbound delivery callback and begins delivery. It
+	// must be called at most once. The callback may retain pkt only for the
+	// duration of the call (the buffer is reused).
+	Start(recv func(pkt []byte, from *net.UDPAddr))
+	// Synchronous reports whether datagrams are delivered from a
+	// deterministic single-threaded event loop (a simulation) rather than a
+	// reader goroutine. Synchronous transports need no per-peer buffering in
+	// the mux, and connections over them schedule all their periodic work on
+	// the injected clock instead of goroutines.
+	Synchronous() bool
+}
+
+// udpPacketConn is the production PacketConn: a kernel UDP socket plus one
+// reader goroutine.
+type udpPacketConn struct {
+	sock *net.UDPConn
+	wg   sync.WaitGroup
+}
+
+func newUDPPacketConn(sock *net.UDPConn) *udpPacketConn {
+	return &udpPacketConn{sock: sock}
+}
+
+func (u *udpPacketConn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
+	return u.sock.WriteToUDP(b, addr)
+}
+
+func (u *udpPacketConn) LocalAddr() net.Addr { return u.sock.LocalAddr() }
+
+func (u *udpPacketConn) Synchronous() bool { return false }
+
+func (u *udpPacketConn) Start(recv func(pkt []byte, from *net.UDPAddr)) {
+	u.wg.Add(1)
+	go func() {
+		defer u.wg.Done()
+		buf := make([]byte, 65535)
+		for {
+			n, raddr, err := u.sock.ReadFromUDP(buf)
+			if err != nil {
+				return // closed
+			}
+			recv(buf[:n], raddr)
+		}
+	}()
+}
+
+func (u *udpPacketConn) Close() error {
+	err := u.sock.Close()
+	u.wg.Wait()
+	return err
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"marnet/internal/vclock"
 )
 
 // Relay is a minimal UDP impairment middlebox for testing and demos: it
@@ -21,6 +23,7 @@ type Relay struct {
 
 	sock     *net.UDPConn
 	upstream *net.UDPAddr
+	clock    vclock.Clock
 
 	mu      sync.Mutex
 	client  *net.UDPAddr
@@ -49,6 +52,7 @@ func NewRelay(upstream string, dropEvery int, delay time.Duration) (*Relay, erro
 		Delay:     delay,
 		sock:      sock,
 		upstream:  uaddr,
+		clock:     vclock.System,
 		kick:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
@@ -150,7 +154,7 @@ func (r *Relay) loop() {
 		// racing per-packet timer goroutines.
 		r.seq++
 		heap.Push(&r.dq, &relayPending{
-			due: time.Now().Add(delay),
+			due: r.clock.Now().Add(delay),
 			seq: r.seq,
 			pkt: append([]byte(nil), buf[:n]...),
 			dst: dst,
@@ -178,7 +182,9 @@ func (r *Relay) dispatchLoop() {
 		wait := time.Duration(-1)
 		if len(r.dq) > 0 {
 			head := r.dq[0]
-			if d := time.Until(head.due); d <= 0 {
+			// due carries the clock's monotonic reading, so this wait is
+			// immune to wall-clock steps between enqueue and dispatch.
+			if d := head.due.Sub(r.clock.Now()); d <= 0 {
 				item = heap.Pop(&r.dq).(*relayPending)
 			} else {
 				wait = d

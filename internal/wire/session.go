@@ -4,7 +4,15 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"marnet/internal/vclock"
 )
+
+// ConnDialer builds one connection attempt for a session. The session
+// supplies the fully wired Config (callbacks bound to the right
+// generation); the dialer supplies the transport — a fresh UDP socket in
+// production, a fresh simulated endpoint under internal/marsim.
+type ConnDialer func(cfg Config) (*Conn, error)
 
 // SessionConfig tunes automatic session resumption.
 type SessionConfig struct {
@@ -21,6 +29,10 @@ type SessionConfig struct {
 	OnStateChange func(State)
 }
 
+// confirmPeriod is how often a freshly resumed connection is polled for
+// evidence of actual reachability.
+const confirmPeriod = 10 * time.Millisecond
+
 // Session is a client-side connection that survives outages: it watches
 // the underlying Conn's keepalive verdict and, on death, re-dials and
 // re-establishes its streams while preserving app-level sequence numbers —
@@ -28,10 +40,15 @@ type SessionConfig struct {
 // mistake resumed traffic for duplicates. This is the paper's graceful-
 // degradation doctrine applied to the session itself: an outage costs
 // in-flight frames, never the session.
+//
+// All resumption machinery (re-dial backoff, recovery confirmation) runs
+// as AfterFunc chains on the connection's clock, so sessions are fully
+// deterministic under a virtual clock.
 type Session struct {
-	addr string
-	base Config
-	scfg SessionConfig
+	base  Config
+	scfg  SessionConfig
+	dial  ConnDialer
+	clock vclock.Clock
 
 	mu         sync.Mutex
 	conn       *Conn
@@ -41,7 +58,10 @@ type Session struct {
 	reconnects int64
 	rng        *rand.Rand
 
-	done chan struct{}
+	// Pending resumption timers (guarded by mu): the backoff before the
+	// next re-dial attempt, and the recovery-confirmation poll.
+	redialTimer  vclock.Timer
+	confirmTimer vclock.Timer
 }
 
 // DialSession dials addr with automatic resumption. cfg.Keepalive is the
@@ -49,6 +69,14 @@ type Session struct {
 // to 3, so a dead path is declared within ~750 ms). cfg.OnStateChange is
 // reserved for the session's own use — observe via scfg.OnStateChange.
 func DialSession(addr string, cfg Config, scfg SessionConfig) (*Session, error) {
+	return DialSessionWith(func(c Config) (*Conn, error) { return Dial(addr, c) }, cfg, scfg)
+}
+
+// DialSessionWith is DialSession over a caller-supplied dialer: each
+// connection attempt (the initial one and every re-dial) invokes dial with
+// the session's per-generation Config. The dialer must produce a fresh
+// transport per call, mirroring how Dial binds a fresh UDP socket.
+func DialSessionWith(dial ConnDialer, cfg Config, scfg SessionConfig) (*Session, error) {
 	if cfg.Keepalive <= 0 {
 		cfg.Keepalive = 250 * time.Millisecond
 	}
@@ -59,13 +87,13 @@ func DialSession(addr string, cfg Config, scfg SessionConfig) (*Session, error) 
 		scfg.RedialMax = time.Second
 	}
 	s := &Session{
-		addr: addr,
-		base: cfg,
-		scfg: scfg,
-		rng:  rand.New(rand.NewSource(scfg.Seed)),
-		done: make(chan struct{}),
+		base:  cfg,
+		scfg:  scfg,
+		dial:  dial,
+		clock: vclock.OrSystem(cfg.Clock),
+		rng:   rand.New(rand.NewSource(scfg.Seed)),
 	}
-	conn, err := Dial(addr, s.cfgFor(0))
+	conn, err := dial(s.cfgFor(0))
 	if err != nil {
 		return nil, err
 	}
@@ -102,48 +130,41 @@ func (s *Session) cfgFor(gen int) Config {
 			cb(st)
 		}
 		if st == StateDead {
-			go s.resume(gen)
+			s.resume(gen)
 		}
 	}
 	return cfg
 }
 
-// confirmRecovery watches a freshly resumed connection for evidence the
-// peer is actually reachable again (a re-dial succeeds even into a
-// blackhole — UDP has no handshake) and fires the session's StateActive
-// edge once a frame arrives.
-func (s *Session) confirmRecovery(conn *Conn, gen int, since time.Time) {
-	ticker := time.NewTicker(10 * time.Millisecond)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.done:
-			return
-		case <-ticker.C:
-		}
-		s.mu.Lock()
-		if gen != s.gen || s.closed {
-			s.mu.Unlock()
-			return
-		}
+// confirmFire polls a freshly resumed connection for evidence the peer is
+// actually reachable again (a re-dial succeeds even into a blackhole — UDP
+// has no handshake) and fires the session's StateActive edge once a frame
+// arrives.
+func (s *Session) confirmFire(conn *Conn, gen int, since time.Time) {
+	s.mu.Lock()
+	s.confirmTimer = nil
+	if gen != s.gen || s.closed {
 		s.mu.Unlock()
-		if !conn.LastActivity().After(since) {
-			continue
-		}
-		s.mu.Lock()
-		notify := s.down
-		s.down = false
-		cb := s.scfg.OnStateChange
-		s.mu.Unlock()
-		if notify && cb != nil {
-			cb(StateActive)
-		}
 		return
+	}
+	if !conn.LastActivity().After(since) {
+		s.confirmTimer = s.clock.AfterFunc(confirmPeriod, func() { s.confirmFire(conn, gen, since) })
+		s.mu.Unlock()
+		return
+	}
+	notify := s.down
+	s.down = false
+	cb := s.scfg.OnStateChange
+	s.mu.Unlock()
+	if notify && cb != nil {
+		cb(StateActive)
 	}
 }
 
 // resume replaces a dead connection, carrying forward stream sequence
-// numbers, with seeded-jitter exponential backoff between attempts.
+// numbers, with seeded-jitter exponential backoff between attempts. It is
+// called from the dead connection's keepalive callback; the dial attempts
+// run inline and retries are scheduled on the clock.
 func (s *Session) resume(gen int) {
 	s.mu.Lock()
 	if s.closed || gen != s.gen {
@@ -158,44 +179,49 @@ func (s *Session) resume(gen int) {
 	seqs := old.streamSeqs()
 	old.Close() //nolint:errcheck // superseded connection
 
-	backoff := s.scfg.RedialMin
-	for {
-		s.mu.Lock()
-		closed := s.closed
+	s.redialAttempt(newGen, seqs, s.scfg.RedialMin)
+}
+
+// redialAttempt makes one dial attempt for generation gen; on failure it
+// schedules the next attempt after a seeded-jitter backoff.
+func (s *Session) redialAttempt(gen int, seqs map[uint16]int64, backoff time.Duration) {
+	s.mu.Lock()
+	s.redialTimer = nil
+	if s.closed || gen != s.gen {
 		s.mu.Unlock()
-		if closed {
-			return
-		}
-		conn, err := Dial(s.addr, s.cfgFor(newGen))
-		if err == nil {
-			conn.setStreamSeqs(seqs)
-			s.mu.Lock()
-			if s.closed {
-				s.mu.Unlock()
-				conn.Close() //nolint:errcheck // racing shutdown
-				return
-			}
-			s.conn = conn
-			s.reconnects++
-			installed := time.Now()
-			s.mu.Unlock()
-			go s.confirmRecovery(conn, newGen, installed)
-			return
-		}
-		s.mu.Lock()
-		sleep := backoff/2 + time.Duration(s.rng.Int63n(int64(backoff/2)+1))
-		s.mu.Unlock()
-		timer := time.NewTimer(sleep)
-		select {
-		case <-timer.C:
-		case <-s.done:
-			timer.Stop()
-			return
-		}
-		if backoff *= 2; backoff > s.scfg.RedialMax {
-			backoff = s.scfg.RedialMax
-		}
+		return
 	}
+	s.mu.Unlock()
+
+	conn, err := s.dial(s.cfgFor(gen))
+	if err == nil {
+		conn.setStreamSeqs(seqs)
+		s.mu.Lock()
+		if s.closed || gen != s.gen {
+			s.mu.Unlock()
+			conn.Close() //nolint:errcheck // racing shutdown
+			return
+		}
+		s.conn = conn
+		s.reconnects++
+		installed := s.clock.Now()
+		s.confirmTimer = s.clock.AfterFunc(confirmPeriod, func() { s.confirmFire(conn, gen, installed) })
+		s.mu.Unlock()
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed || gen != s.gen {
+		s.mu.Unlock()
+		return
+	}
+	sleep := backoff/2 + time.Duration(s.rng.Int63n(int64(backoff/2)+1))
+	next := 2 * backoff
+	if next > s.scfg.RedialMax {
+		next = s.scfg.RedialMax
+	}
+	s.redialTimer = s.clock.AfterFunc(sleep, func() { s.redialAttempt(gen, seqs, next) })
+	s.mu.Unlock()
 }
 
 // current returns the live connection.
@@ -276,7 +302,12 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	conn := s.conn
-	close(s.done)
+	for _, t := range []vclock.Timer{s.redialTimer, s.confirmTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	s.redialTimer, s.confirmTimer = nil, nil
 	s.mu.Unlock()
 	err := conn.Close()
 	if cb := s.scfg.OnStateChange; cb != nil {
