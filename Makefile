@@ -9,11 +9,11 @@ RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./inter
 # Per-fuzzer budget for the smoke pass wired into ci.
 FUZZTIME ?= 10s
 
-.PHONY: all ci vet build test race sim chaos overload fuzz bench-smoke clean
+.PHONY: all ci vet build test race sim chaos overload fuzz bench-smoke bench clean
 
 all: ci
 
-ci: vet build test race sim bench-smoke fuzz
+ci: vet build test race sim bench-smoke bench fuzz
 
 vet:
 	$(GO) vet ./...
@@ -47,7 +47,15 @@ overload:
 # allocation bound on the disabled-tracing fast path is asserted by
 # TestDisabledTracingAllocs in the regular test pass.
 bench-smoke:
-	$(GO) test -bench . -benchtime 1x ./internal/obs/ ./internal/queue/
+	$(GO) test -bench . -benchtime 1x ./internal/obs/ ./internal/queue/ ./internal/wire/
+
+# The wire datapath saturation study on real loopback sockets, recorded as
+# a machine-readable artifact. The packet count is fixed (never derived
+# from timing or GOMAXPROCS), so BENCH_wire.json diffs are meaningful
+# across commits on the same host; absolute numbers vary across hosts —
+# the ratios (fast path vs legacy, batched vs not) are the tracked result.
+bench:
+	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json
 
 # Short coverage-guided smoke over the wire-format decoders. Go runs one
 # fuzz target per invocation, so each gets its own budget.

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +20,15 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
+	benchOut := flag.String("bench-out", "", "write the wire bench result as JSON to this file (runs the wire experiment)")
 	flag.Parse()
-	if err := run(flag.Args(), *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "marbench:", err)
-		os.Exit(1)
+	// With -bench-out and no named experiments, run only the bench: the
+	// CI bench target wants the JSON artifact, not the full paper suite.
+	if *benchOut == "" || flag.NArg() > 0 {
+		if err := run(flag.Args(), *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "marbench:", err)
+			os.Exit(1)
+		}
 	}
 	if *csvDir != "" {
 		if err := writeCSVs(*csvDir, *seed); err != nil {
@@ -30,6 +36,31 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "marbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBench runs the wire datapath saturation bench and records it as
+// machine-readable JSON (the BENCH_wire.json artifact `make bench` tracks).
+func writeBench(path string, seed int64) error {
+	res := experiments.WireBench(seed)
+	fmt.Println(res.Format())
+	if res.Err != "" {
+		return fmt.Errorf("wire bench: %s", res.Err)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeCSVs exports the time-series figures (3 and 4) as CSV for external
@@ -87,6 +118,7 @@ func run(args []string, seed int64) error {
 		{"s6h", func(s int64) string { return experiments.SectionVIH(s).Format() }},
 		{"overload", func(s int64) string { return experiments.Overload(s).Format() }},
 		{"budget", func(s int64) string { return experiments.Budget(s).Format() }},
+		{"wire", func(s int64) string { return experiments.WireBench(s).Format() }},
 	}
 	want := make(map[string]bool, len(args))
 	for _, a := range args {

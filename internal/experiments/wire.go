@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"marnet/internal/wire"
+)
+
+// WireBenchResult is the wire-datapath saturation study: the measured
+// legs of the frame pipeline on real loopback sockets, plus the headline
+// ratio the fast-path work is judged by. Marshalled as-is into
+// BENCH_wire.json by `make bench`.
+type WireBenchResult struct {
+	Seed         int64                   `json:"seed"`
+	GOMAXPROCS   int                     `json:"gomaxprocs"`
+	Packets      int                     `json:"packets"`
+	PayloadBytes int                     `json:"payload_bytes"`
+	Rows         []wire.PipelineBenchRow `json:"rows"`
+	// SpeedupPacketsPerSec is send-fastpath-batch over send-legacy — the
+	// tentpole target is ≥4x on loopback saturation.
+	SpeedupPacketsPerSec float64 `json:"speedup_packets_per_sec"`
+	Err                  string  `json:"err,omitempty"`
+}
+
+// WireBench saturates the wire datapath on loopback and reports each
+// pipeline leg: the pre-fast-path send pipeline (per-packet allocations,
+// per-packet nonce syscall, one sendto per frame), the pooled fast path
+// unbatched and batched, and the two receive loops (recvfrom vs recvmmsg),
+// every leg sealing/opening with AES-GCM. The packet count is fixed, not
+// timer- or core-derived, so runs compare across machines; seed only tags
+// the output (real sockets have no useful seed). Unlike the simulator
+// studies, absolute numbers vary with the host — the ratios are the result.
+func WireBench(seed int64) WireBenchResult {
+	const (
+		packets    = 30_000
+		payloadLen = 1000
+	)
+	res := WireBenchResult{
+		Seed:         seed,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Packets:      packets,
+		PayloadBytes: payloadLen,
+	}
+	rows, err := wire.RunPipelineBench(packets, payloadLen)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Rows = rows
+	var legacy, batch float64
+	for _, r := range rows {
+		switch r.Name {
+		case "send-legacy":
+			legacy = r.PacketsPerSec
+		case "send-fastpath-batch":
+			batch = r.PacketsPerSec
+		}
+	}
+	if legacy > 0 {
+		res.SpeedupPacketsPerSec = batch / legacy
+	}
+	return res
+}
+
+// Format renders the study in the repo's table style.
+func (r WireBenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Wire datapath saturation (loopback, AES-GCM sealed, %d packets of %d B, GOMAXPROCS=%d)\n",
+		r.Packets, r.PayloadBytes, r.GOMAXPROCS)
+	if r.Err != "" {
+		fmt.Fprintf(&b, "  bench failed: %s\n", r.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-20s %10s %12s %12s %10s %10s\n",
+		"leg", "ns/op", "allocs/op", "packets/s", "Mb/s", "delivered")
+	for _, row := range r.Rows {
+		delivered := "-"
+		if row.Delivered > 0 {
+			delivered = fmt.Sprintf("%d", row.Delivered)
+		}
+		fmt.Fprintf(&b, "  %-20s %10.0f %12.2f %12.0f %10.1f %10s\n",
+			row.Name, row.NsPerOp, row.AllocsPerOp, row.PacketsPerSec, row.MbitPerSec, delivered)
+	}
+	fmt.Fprintf(&b, "  speedup (send-fastpath-batch / send-legacy): %.2fx packets/s\n", r.SpeedupPacketsPerSec)
+	return b.String()
+}

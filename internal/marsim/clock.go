@@ -41,11 +41,16 @@ func (c *Clock) AfterFunc(d time.Duration, fn func()) vclock.Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &simTimer{ev: c.sim.Schedule(d, fn)}
+	return &simTimer{clock: c, fn: fn, ev: c.sim.Schedule(d, fn)}
 }
 
-// simTimer implements vclock.Timer over a scheduled sim event.
-type simTimer struct{ ev *simnet.Event }
+// simTimer implements vclock.Timer (and vclock.Resetter) over a scheduled
+// sim event.
+type simTimer struct {
+	clock *Clock
+	fn    func()
+	ev    *simnet.Event
+}
 
 // Stop cancels the pending event; like time.Timer.Stop it reports false
 // when the callback already ran (or was already stopped).
@@ -55,4 +60,18 @@ func (t *simTimer) Stop() bool {
 	}
 	t.ev.Cancel()
 	return true
+}
+
+// Reset re-arms the timer: the original callback fires again after
+// virtual duration d. Scheduling a fresh event keeps the sim's event
+// ordering identical to an AfterFunc call at the same instant, so
+// Reset-based timer chains reproduce the exact traces of AfterFunc
+// chains.
+func (t *simTimer) Reset(d time.Duration) bool {
+	pending := t.Stop()
+	if d < 0 {
+		d = 0
+	}
+	t.ev = t.clock.sim.Schedule(d, t.fn)
+	return pending
 }

@@ -23,6 +23,11 @@ type Config struct {
 	// Clock is the time source (default time.Now); it is also pushed into
 	// Admission when that has none.
 	Clock func() time.Time
+	// Sleep is the poll pause WaitDrain uses between checks (default
+	// time.Sleep). Tests driving the gate on a virtual clock inject a hook
+	// that advances that clock, so drains resolve on virtual time instead
+	// of stalling a wall-clock millisecond per poll.
+	Sleep func(d time.Duration)
 }
 
 // Verdict is the admission decision for one request.
@@ -103,6 +108,7 @@ type Gate struct {
 	adm   *Admission
 	est   *Estimator
 	clock func() time.Time
+	sleep func(d time.Duration)
 
 	mu           sync.Mutex
 	draining     bool
@@ -126,12 +132,16 @@ func NewGate(cfg Config) *Gate {
 	if cfg.Admission.Clock == nil {
 		cfg.Admission.Clock = cfg.Clock
 	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
 	cfg.Admission.defaults() // gate reads Target etc. directly, so default here
 	return &Gate{
 		cfg:   cfg,
 		adm:   NewAdmission(cfg.Admission),
 		est:   NewEstimator(cfg.EWMAAlpha),
 		clock: cfg.Clock,
+		sleep: cfg.Sleep,
 	}
 }
 
@@ -291,9 +301,12 @@ func (g *Gate) Draining() bool {
 // WaitDrain blocks until the queues are empty and no work is in flight,
 // or the timeout elapses; it reports whether the drain completed. Callers
 // normally SetDraining(true) first — otherwise new admissions can keep the
-// gate busy indefinitely.
+// gate busy indefinitely. Both the deadline and the poll pause run on the
+// injected Clock/Sleep hooks: a gate constructed on a virtual clock drains
+// (and times out) on virtual time, the same time base as every other
+// decision it makes.
 func (g *Gate) WaitDrain(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := g.clock().Add(timeout)
 	for {
 		g.mu.Lock()
 		idle := g.inflight == 0
@@ -301,10 +314,10 @@ func (g *Gate) WaitDrain(timeout time.Duration) bool {
 		if idle && g.adm.Depth() == 0 {
 			return true
 		}
-		if time.Now().After(deadline) {
+		if g.clock().After(deadline) {
 			return false
 		}
-		time.Sleep(time.Millisecond)
+		g.sleep(time.Millisecond)
 	}
 }
 

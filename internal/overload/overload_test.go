@@ -212,7 +212,11 @@ func TestGateCannotFinish(t *testing.T) {
 
 func TestGateDrainProtocol(t *testing.T) {
 	clk := newFakeClock()
-	g := NewGate(Config{Clock: clk.Now})
+	// Sleep advances the same fake clock WaitDrain reads its deadline
+	// from, so both WaitDrain outcomes below resolve on virtual time.
+	// (WaitDrain once read time.Now directly and this test only passed
+	// because real milliseconds crept by during the poll sleeps.)
+	g := NewGate(Config{Clock: clk.Now, Sleep: clk.Advance})
 	defer g.Close()
 	if g.Health() != ProbeHealthy {
 		t.Fatalf("health = %v, want healthy", g.Health())
@@ -289,6 +293,30 @@ func TestGateLadderDegradesDispatch(t *testing.T) {
 	}
 	if g.Health() == ProbeHealthy {
 		t.Error("health still healthy with ladder active")
+	}
+}
+
+// TestWaitDrainVirtualClock pins WaitDrain to the injected clock: a one-
+// hour drain timeout resolves in milliseconds of real time when the Sleep
+// hook advances the virtual clock in ten-minute jumps — only possible if
+// both the deadline arithmetic and the polling pause run on the hooks
+// rather than the system clock.
+func TestWaitDrainVirtualClock(t *testing.T) {
+	clk := newFakeClock()
+	g := NewGate(Config{
+		Clock: clk.Now,
+		Sleep: func(time.Duration) { clk.Advance(10 * time.Minute) },
+	})
+	defer g.Close()
+	if g.Admit(&Item{Tier: 0}) != Admit {
+		t.Fatal("admission refused")
+	}
+	start := time.Now()
+	if g.WaitDrain(time.Hour) {
+		t.Fatal("drain reported complete with an item still queued")
+	}
+	if real := time.Since(start); real > 5*time.Second {
+		t.Fatalf("one-hour virtual timeout took %v of real time", real)
 	}
 }
 

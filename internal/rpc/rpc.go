@@ -607,13 +607,25 @@ func (s *Server) refuse(it *overload.Item, v overload.Verdict, onArrival bool) {
 	}
 }
 
+// respBufPool recycles response assembly buffers. wire.Conn.Send copies
+// the bytes into its own pooled payload buffer before returning, so the
+// assembly buffer can go straight back on the pool — the response path
+// then allocates nothing for payloads within MaxPayload.
+var respBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, wire.MaxPayload)
+	return &b
+}}
+
 func (s *Server) respond(conn *wire.Conn, id uint64, method, status byte, payload []byte) error {
-	out := make([]byte, respHeader+len(payload))
+	pb := respBufPool.Get().(*[]byte)
+	out := (*pb)[:respHeader]
 	binary.LittleEndian.PutUint64(out, id)
 	out[8] = method
 	out[9] = status
-	copy(out[respHeader:], payload)
+	out = append(out, payload...)
 	_, err := conn.Send(respStream, out)
+	*pb = out[:0]
+	respBufPool.Put(pb)
 	return err
 }
 
@@ -625,14 +637,17 @@ func (s *Server) respondTraced(conn *wire.Conn, id uint64, method, status byte, 
 	if traceID == 0 {
 		return s.respond(conn, id, method, status, payload)
 	}
-	out := make([]byte, respHeader+traceTrailer+len(payload))
+	pb := respBufPool.Get().(*[]byte)
+	out := (*pb)[:respHeader+traceTrailer]
 	binary.LittleEndian.PutUint64(out, id)
 	out[8] = method
 	out[9] = status
 	binary.LittleEndian.PutUint32(out[respHeader:], clampMicros(queued))
 	binary.LittleEndian.PutUint32(out[respHeader+4:], clampMicros(service))
-	copy(out[respHeader+traceTrailer:], payload)
+	out = append(out, payload...)
 	_, err := conn.SendTraced(respStream, out, traceID, spanID)
+	*pb = out[:0]
+	respBufPool.Put(pb)
 	return err
 }
 

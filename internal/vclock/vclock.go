@@ -44,6 +44,27 @@ type Timer interface {
 	Stop() bool
 }
 
+// Resetter is the optional re-arm capability of a Timer: Reset schedules
+// the timer's original callback to fire again after d without allocating
+// a fresh timer. Like time.Timer.Reset it reports whether the timer was
+// still pending; hot paths (per-frame pacing) rely on Reset to keep the
+// timer chain allocation-free.
+type Resetter interface {
+	Reset(d time.Duration) bool
+}
+
+// Rearm re-arms t for d when it supports in-place reset, falling back to
+// a fresh AfterFunc on clock otherwise. fn must be the same callback the
+// timer was created with — Reset fires the original function. It returns
+// the timer to keep (t itself, or the fresh one).
+func Rearm(clock Clock, t Timer, d time.Duration, fn func()) Timer {
+	if r, ok := t.(Resetter); ok {
+		r.Reset(d)
+		return t
+	}
+	return clock.AfterFunc(d, fn)
+}
+
 // System is the wall-clock implementation backed by package time.
 var System Clock = systemClock{}
 
@@ -58,8 +79,8 @@ func OrSystem(c Clock) Clock {
 
 type systemClock struct{}
 
-func (systemClock) Now() time.Time                    { return time.Now() }
-func (systemClock) Since(t time.Time) time.Duration   { return time.Since(t) }
+func (systemClock) Now() time.Time                  { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration { return time.Since(t) }
 func (systemClock) AfterFunc(d time.Duration, fn func()) Timer {
 	return sysTimer{time.AfterFunc(d, fn)}
 }
@@ -67,3 +88,7 @@ func (systemClock) AfterFunc(d time.Duration, fn func()) Timer {
 type sysTimer struct{ t *time.Timer }
 
 func (s sysTimer) Stop() bool { return s.t.Stop() }
+
+// Reset re-arms the underlying time.Timer. Owners only call it from the
+// timer's own callback or with the timer stopped, per time.Timer rules.
+func (s sysTimer) Reset(d time.Duration) bool { return s.t.Reset(d) }

@@ -1,0 +1,39 @@
+package wire
+
+import "net"
+
+// Datagram is one element of a batched transport write: a wire frame and
+// its destination. The buffer is only valid for the duration of the
+// WriteBatch call — implementations must copy (or hand to the kernel)
+// before returning, exactly like WriteToUDP.
+type Datagram struct {
+	B    []byte
+	Addr *net.UDPAddr
+}
+
+// BatchWriter is the optional batch capability of a PacketConn. The
+// kernel transport implements it with one sendmmsg system call per batch
+// on Linux (a portable loop elsewhere); the simulated endpoint injects
+// the whole batch into the event loop at one virtual instant. A sender
+// only coalesces frames into batches when its transport implements this
+// interface (and Config.MaxBurst allows it), so transports that cannot
+// batch keep the exact per-frame behavior.
+type BatchWriter interface {
+	// WriteBatch transmits the datagrams in order, returning how many
+	// were handed to the transport and the first error encountered. A
+	// short count with a nil error does not happen: implementations
+	// retry internally until everything is written or an error stops
+	// them.
+	WriteBatch(dgs []Datagram) (int, error)
+}
+
+// writeBatchLoop is the portable WriteBatch fallback: one WriteToUDP per
+// datagram.
+func writeBatchLoop(pc PacketConn, dgs []Datagram) (int, error) {
+	for i := range dgs {
+		if _, err := pc.WriteToUDP(dgs[i].B, dgs[i].Addr); err != nil {
+			return i, err
+		}
+	}
+	return len(dgs), nil
+}

@@ -1,0 +1,324 @@
+package wire
+
+// Pipeline benchmark harness for the marbench "wire" experiment. It lives
+// in this package (not a _test file) because the legacy-path emulation and
+// the receive-leg variants need the unexported sealer and transport
+// internals; internal/experiments wraps it into the reported tables and
+// BENCH_wire.json.
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// PipelineBenchRow is one measured leg of the wire datapath.
+type PipelineBenchRow struct {
+	Name    string `json:"name"`
+	Packets int    `json:"packets"`
+	// Delivered is only meaningful for receive legs: how many datagrams
+	// survived decode+open (the rest were dropped by the kernel or the
+	// codec).
+	Delivered     int64   `json:"delivered,omitempty"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	MbitPerSec    float64 `json:"mbit_per_sec"`
+}
+
+// benchKey seals every benchmark frame: the interesting comparison is the
+// full encode→seal→send pipeline the paper's Section VI-G requires, not
+// the plaintext shortcut.
+var benchKey = []byte("0123456789abcdef")
+
+// RunPipelineBench measures the wire datapath on real loopback sockets in
+// five legs:
+//
+//	send-legacy         per-packet allocations (payload copy, AAD render,
+//	                    fresh seal buffers, fresh nonce from crypto/rand,
+//	                    fresh frame buffer) + one sendto per packet — the
+//	                    pipeline exactly as it was before the fast path.
+//	send-fastpath       pooled buffers, in-place seal, counter nonce, one
+//	                    sendto per packet.
+//	send-fastpath-batch the same, MaxBatchFrames frames per sendmmsg.
+//	recv-single         one recvfrom per datagram, then decode + open.
+//	recv-batched        recvmmsg vectors, then decode + open.
+//
+// The packet count is fixed by the caller (never derived from timing or
+// core count), so runs are comparable across machines and GOMAXPROCS
+// settings. Reported allocations are process-wide mallocs per packet over
+// the measured window.
+func RunPipelineBench(packets, payloadLen int) ([]PipelineBenchRow, error) {
+	if payloadLen > maxPlain(true) {
+		return nil, fmt.Errorf("wire: bench payload %d exceeds sealed max %d", payloadLen, maxPlain(true))
+	}
+	payload := make([]byte, payloadLen)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	rows := make([]PipelineBenchRow, 0, 5)
+	for _, leg := range []struct {
+		name string
+		mode int
+	}{
+		{"send-legacy", sendLegacy},
+		{"send-fastpath", sendFastpath},
+		{"send-fastpath-batch", sendFastBatch},
+	} {
+		row, err := sendLeg(leg.name, leg.mode, packets, payload)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, leg := range []struct {
+		name    string
+		batched bool
+	}{
+		{"recv-single", false},
+		{"recv-batched", true},
+	} {
+		row, err := recvLeg(leg.name, leg.batched, packets, payload)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+const (
+	sendLegacy = iota
+	sendFastpath
+	sendFastBatch
+)
+
+func listenLoopback() (*net.UDPConn, error) {
+	return net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+}
+
+// wireLenSealed is the on-the-wire size of one sealed benchmark frame.
+func wireLenSealed(payloadLen int) int { return HeaderLen + sealedOver + payloadLen }
+
+func sendLeg(name string, mode, packets int, payload []byte) (PipelineBenchRow, error) {
+	src, err := listenLoopback()
+	if err != nil {
+		return PipelineBenchRow{}, err
+	}
+	dst, err := listenLoopback() // bound but never read: the kernel does the full delivery work
+	if err != nil {
+		src.Close()
+		return PipelineBenchRow{}, err
+	}
+	u := newUDPPacketConn(src)
+	defer u.Close()
+	defer dst.Close()
+	raddr := dst.LocalAddr().(*net.UDPAddr)
+	sl, err := newSealer(benchKey)
+	if err != nil {
+		return PipelineBenchRow{}, err
+	}
+
+	hdr := Header{Type: TypeData, Stream: 1, Class: 1, Prio: 1}
+	var dgs []Datagram
+	var fbs []*[]byte
+	if mode == sendFastBatch {
+		dgs = make([]Datagram, 0, MaxBatchFrames)
+		fbs = make([]*[]byte, MaxBatchFrames)
+		for i := range fbs {
+			fbs[i] = getFrameBuf()
+		}
+	}
+	sendOne := func(seq int64) error {
+		hdr.Seq = seq
+		switch mode {
+		case sendLegacy:
+			// The pre-fast-path pipeline, faithfully: a private payload
+			// copy, a rendered AAD, a fresh nonce from the kernel's
+			// entropy pool, seal into fresh buffers, a fresh frame.
+			buf := append([]byte(nil), payload...)
+			out := make([]byte, nonceLen, nonceLen+len(buf)+gcmTagLen)
+			if _, rerr := rand.Read(out[:nonceLen]); rerr != nil {
+				return rerr
+			}
+			sealed := sl.aead.Seal(out, out[:nonceLen], buf, headerAAD(hdr))
+			frame, ferr := AppendFrame(nil, hdr, sealed)
+			if ferr != nil {
+				return ferr
+			}
+			_, werr := u.WriteToUDP(frame, raddr)
+			return werr
+		default:
+			fb := getFrameBuf()
+			frame, ferr := sl.appendSealedFrame((*fb)[:0], hdr, payload)
+			if ferr != nil {
+				putFrameBuf(fb)
+				return ferr
+			}
+			_, werr := u.WriteToUDP(frame, raddr)
+			putFrameBuf(fb)
+			return werr
+		}
+	}
+	sendBatch := func(firstSeq int64, n int) error {
+		dgs = dgs[:0]
+		for i := 0; i < n; i++ {
+			hdr.Seq = firstSeq + int64(i)
+			frame, ferr := sl.appendSealedFrame((*fbs[i])[:0], hdr, payload)
+			if ferr != nil {
+				return ferr
+			}
+			dgs = append(dgs, Datagram{B: frame, Addr: raddr})
+		}
+		_, werr := u.WriteBatch(dgs)
+		return werr
+	}
+
+	// Warm pools, the socket path, and the branch predictor alike.
+	for i := 0; i < 256; i++ {
+		if mode == sendFastBatch {
+			if err := sendBatch(int64(i*MaxBatchFrames), MaxBatchFrames); err != nil {
+				return PipelineBenchRow{}, err
+			}
+		} else if err := sendOne(int64(i)); err != nil {
+			return PipelineBenchRow{}, err
+		}
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	sent := 0
+	for sent < packets {
+		if mode == sendFastBatch {
+			n := MaxBatchFrames
+			if packets-sent < n {
+				n = packets - sent
+			}
+			if err := sendBatch(int64(sent), n); err != nil {
+				return PipelineBenchRow{}, err
+			}
+			sent += n
+		} else {
+			if err := sendOne(int64(sent)); err != nil {
+				return PipelineBenchRow{}, err
+			}
+			sent++
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return finishRow(name, packets, 0, elapsed, m1.Mallocs-m0.Mallocs, len(payload)), nil
+}
+
+func recvLeg(name string, batched bool, packets int, payload []byte) (PipelineBenchRow, error) {
+	rsock, err := listenLoopback()
+	if err != nil {
+		return PipelineBenchRow{}, err
+	}
+	rsock.SetReadBuffer(1 << 20) //nolint:errcheck // best-effort; the window below adapts
+	var ru *udpPacketConn
+	if batched {
+		ru = newUDPPacketConn(rsock)
+	} else {
+		ru = &udpPacketConn{sock: rsock} // bio nil: the one-recvfrom-per-datagram loop
+	}
+	defer ru.Close()
+	sl, err := newSealer(benchKey)
+	if err != nil {
+		return PipelineBenchRow{}, err
+	}
+	var delivered atomic.Int64
+	ru.Start(func(pkt []byte, _ *net.UDPAddr) {
+		h, p, derr := DecodeFrame(pkt)
+		if derr != nil {
+			return
+		}
+		if _, oerr := sl.open(h, p); oerr != nil {
+			return
+		}
+		delivered.Add(1)
+	})
+
+	ssock, err := listenLoopback()
+	if err != nil {
+		return PipelineBenchRow{}, err
+	}
+	su := newUDPPacketConn(ssock)
+	defer su.Close()
+	raddr := rsock.LocalAddr().(*net.UDPAddr)
+
+	// Pre-encode one window of frames: the send side must not be the
+	// bottleneck when the receive leg is what is being measured.
+	const window = 64
+	frames := make([]Datagram, window)
+	for i := range frames {
+		fb := getFrameBuf()
+		frame, ferr := sl.appendSealedFrame((*fb)[:0], Header{Type: TypeData, Stream: 1, Class: 1, Prio: 1, Seq: int64(i)}, payload)
+		if ferr != nil {
+			return PipelineBenchRow{}, ferr
+		}
+		frames[i] = Datagram{B: frame, Addr: raddr}
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	sent := 0
+	for sent < packets {
+		n := window
+		if packets-sent < n {
+			n = packets - sent
+		}
+		if _, werr := su.WriteBatch(frames[:n]); werr != nil {
+			return PipelineBenchRow{}, werr
+		}
+		sent += n
+		// Closed-loop window: never run more than 8 windows ahead of the
+		// receiver, so the kernel buffer does not shed the very packets
+		// being measured. Park (don't Gosched-spin): on a single core a
+		// yield loop steals the receiver's CPU and the scheduler churn
+		// dominates the measurement.
+		wait := time.Now()
+		for sent-int(delivered.Load()) > 8*window && time.Since(wait) < time.Second {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	// Drain: wait until delivery stops advancing.
+	last, lastAt := delivered.Load(), time.Now()
+	for delivered.Load() < int64(packets) && time.Since(lastAt) < 500*time.Millisecond {
+		time.Sleep(20 * time.Microsecond)
+		if d := delivered.Load(); d != last {
+			last, lastAt = d, time.Now()
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	row := finishRow(name, packets, delivered.Load(), elapsed, m1.Mallocs-m0.Mallocs, len(payload))
+	return row, nil
+}
+
+func finishRow(name string, packets int, delivered int64, elapsed time.Duration, mallocs uint64, payloadLen int) PipelineBenchRow {
+	ops := float64(packets)
+	if delivered > 0 {
+		ops = float64(delivered)
+	}
+	if ops == 0 {
+		ops = 1
+	}
+	wire := float64(wireLenSealed(payloadLen))
+	return PipelineBenchRow{
+		Name:          name,
+		Packets:       packets,
+		Delivered:     delivered,
+		NsPerOp:       float64(elapsed.Nanoseconds()) / ops,
+		AllocsPerOp:   float64(mallocs) / ops,
+		PacketsPerSec: ops / elapsed.Seconds(),
+		MbitPerSec:    ops * wire * 8 / 1e6 / elapsed.Seconds(),
+	}
+}

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"testing"
+)
+
+// The two halves of the frame pipeline as plain Go benchmarks, so
+// `make bench-smoke` catches regressions (and compile rot) without the
+// socket harness. The full end-to-end legs live in RunPipelineBench.
+
+func BenchmarkEncodeSeal(b *testing.B) {
+	sl, err := newSealer(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	h := Header{Type: TypeData, Stream: 1, Class: 1, Prio: 1}
+	b.SetBytes(int64(wireLenSealed(len(payload))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Seq = int64(i)
+		if _, err := sl.appendSealedFrame((*fb)[:0], h, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeOpen(b *testing.B) {
+	sl, err := newSealer(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	frame, err := sl.appendSealedFrame((*fb)[:0], Header{Type: TypeData, Stream: 1, Class: 1, Prio: 1, Seq: 7}, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, p, derr := DecodeFrame(frame)
+		if derr != nil {
+			b.Fatal(derr)
+		}
+		if _, oerr := sl.open(h, p); oerr != nil {
+			b.Fatal(oerr)
+		}
+	}
+}

@@ -100,15 +100,40 @@ type Config struct {
 	// clock; internal/marsim injects a virtual clock so the identical
 	// protocol code runs on deterministic simulated time.
 	Clock vclock.Clock
+	// MaxBurst caps how many queued frames one pace fire may coalesce
+	// into a single batch write when the transport supports batching
+	// (BatchWriter). The default (0 or 1) keeps the legacy one frame per
+	// fire, so existing deployments and the deterministic simulations are
+	// timing-identical. A burst still pays its full serialization time:
+	// nextSend advances by the batch's cumulative budget gap, so the
+	// average rate honors the controller exactly — only the micro-spacing
+	// inside one burst collapses. Values above MaxBatchFrames are
+	// clamped.
+	MaxBurst int
 }
 
+// MaxBatchFrames bounds MaxBurst (and sizes the per-connection batch
+// scratch): more frames per syscall than this yields no measurable win
+// and inflates jitter for competing flows.
+const MaxBatchFrames = 64
+
+// wpending is the bookkeeping record of one reliable frame awaiting
+// acknowledgment. Records are pooled: they return to pendingPool when the
+// sequence leaves the outstanding map (see pool.go for ownership rules).
 type wpending struct {
 	payload  []byte
+	pbuf     *[]byte // pooled backing buffer of payload
 	class    core.Class
 	deadline time.Time
 	lastSent time.Time
 	retx     int
 	queued   bool
+	// sending marks the window where the pace loop has popped this frame
+	// and is writing it outside the lock; orphaned marks a record removed
+	// from the outstanding map during that window, deferring the buffer
+	// release to the pace loop's finalize step.
+	sending  bool
+	orphaned bool
 	// Trace context rides with the pending record so retransmits carry
 	// the same ids as the original transmission.
 	traceID uint64
@@ -141,6 +166,41 @@ type wstream struct {
 type outFrame struct {
 	hdr     Header
 	payload []byte
+	pbuf    *[]byte // pooled backing buffer of payload (nil for none)
+}
+
+// frameQueue is a FIFO of queued frames that reuses its backing array:
+// pops advance a head index instead of re-slicing, so a steady-state
+// enqueue/dequeue cycle allocates nothing once the array has grown to the
+// high-water backlog (a plain s=s[1:] queue leaks capacity on every pop
+// and re-allocates forever).
+type frameQueue struct {
+	buf  []outFrame
+	head int
+}
+
+func (q *frameQueue) empty() bool { return q.head >= len(q.buf) }
+
+func (q *frameQueue) len() int { return len(q.buf) - q.head }
+
+func (q *frameQueue) push(f outFrame) { q.buf = append(q.buf, f) }
+
+func (q *frameQueue) pop() outFrame {
+	f := q.buf[q.head]
+	q.buf[q.head] = outFrame{} // drop buffer refs so the pool owns them alone
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return f
+}
+
+// popped pairs a frame being written with its pending record (nil for
+// best-effort frames or sequences already acknowledged).
+type popped struct {
+	f  outFrame
+	pp *wpending
 }
 
 // sweepInterval is the retransmit sweep period (tail-loss probe cadence).
@@ -149,10 +209,12 @@ const sweepInterval = 50 * time.Millisecond
 // Conn is an ARTP endpoint over a datagram transport. Both sides of a
 // connection are symmetric: each may declare sending streams and receive
 // the peer's. All protocol timers (pacing, sweep, keepalive) run as
-// AfterFunc chains on the injected clock, so a Conn over a synchronous
-// simulated transport spawns no goroutines at all.
+// reset-in-place timer chains on the injected clock, so a Conn over a
+// synchronous simulated transport spawns no goroutines at all — and the
+// steady-state pace chain allocates nothing.
 type Conn struct {
 	pc    PacketConn
+	bw    BatchWriter // pc's batch capability, nil when unsupported
 	clock vclock.Clock
 	epoch time.Time
 	cfg   Config
@@ -161,20 +223,38 @@ type Conn struct {
 	peer      *net.UDPAddr
 	ctrl      *core.Controller
 	streams   map[uint16]*wstream
-	bands     [4][]outFrame
+	bands     [4]frameQueue
 	closed    bool
 	done      chan struct{}
 	sealer    *sealer // nil when Config.Key is unset
 	state     State
 	lastHeard time.Time // last authenticated frame from the peer
 
-	// Timer chains (guarded by mu). paceTimer is non-nil while a pace fire
-	// is scheduled; nextSend is the earliest instant the next frame may be
-	// serialized, enforcing the budget gap across idle periods.
+	// Timer chains (guarded by mu). Each timer object is created once and
+	// re-armed in place (vclock.Rearm), keeping the hot pace chain
+	// allocation-free; the armed flag tracks whether a fire is pending.
+	// nextSend is the earliest instant the next frame may be serialized,
+	// enforcing the budget gap across idle periods.
 	paceTimer  vclock.Timer
+	paceArmed  bool
+	paceFn     func()
 	nextSend   time.Time
 	sweepTimer vclock.Timer
+	sweepFn    func()
 	kaTimer    vclock.Timer
+	kaFn       func()
+
+	// sendMu serializes the pace loop's pop→encode→write→finalize cycle
+	// and guards the batch scratch. Lock order: sendMu before mu, never
+	// the reverse.
+	sendMu     sync.Mutex
+	sendPops   []popped
+	sendDgs    []Datagram
+	sendFrames []*[]byte // per-slot frame buffers, grown to MaxBurst once
+
+	// nackScratch backs the gap list built on the receive path (guarded
+	// by mu).
+	nackScratch []int64
 
 	// Mux mode: datagrams arrive via the mux's shared transport (through
 	// recvCh and a pump goroutine on asynchronous transports, direct
@@ -188,6 +268,8 @@ type Conn struct {
 
 	// Stats (guarded by mu).
 	SentFrames   int64
+	BatchWrites  int64 // transport writes that carried more than one frame
+	BatchFrames  int64 // frames sent inside multi-frame writes
 	AckedRTT     time.Duration
 	AuthFailures int64
 }
@@ -258,6 +340,12 @@ func newConnCommon(pc PacketConn, peer *net.UDPAddr, cfg Config, sl *sealer) *Co
 	if cfg.KeepaliveMiss <= 0 {
 		cfg.KeepaliveMiss = 3
 	}
+	if cfg.MaxBurst < 1 {
+		cfg.MaxBurst = 1
+	}
+	if cfg.MaxBurst > MaxBatchFrames {
+		cfg.MaxBurst = MaxBatchFrames
+	}
 	clock := vclock.OrSystem(cfg.Clock)
 	now := clock.Now()
 	c := &Conn{
@@ -273,6 +361,17 @@ func newConnCommon(pc PacketConn, peer *net.UDPAddr, cfg Config, sl *sealer) *Co
 		state:     StateActive,
 		lastHeard: now,
 		nextSend:  now,
+	}
+	c.bw, _ = pc.(BatchWriter)
+	c.paceFn = c.paceFire
+	c.sweepFn = c.sweepFire
+	c.kaFn = c.keepaliveFire
+	burst := cfg.MaxBurst
+	c.sendPops = make([]popped, 0, burst)
+	c.sendDgs = make([]Datagram, 0, burst)
+	c.sendFrames = make([]*[]byte, burst)
+	for i := range c.sendFrames {
+		c.sendFrames[i] = getFrameBuf()
 	}
 	for _, spec := range cfg.Streams {
 		c.streams[spec.ID] = &wstream{
@@ -299,9 +398,9 @@ func (c *Conn) start() {
 		go c.muxPump()
 	}
 	c.mu.Lock()
-	c.sweepTimer = c.clock.AfterFunc(sweepInterval, c.sweepFire)
+	c.sweepTimer = c.clock.AfterFunc(sweepInterval, c.sweepFn)
 	if c.cfg.Keepalive > 0 {
-		c.kaTimer = c.clock.AfterFunc(c.cfg.Keepalive, c.keepaliveFire)
+		c.kaTimer = c.clock.AfterFunc(c.cfg.Keepalive, c.kaFn)
 	}
 	c.mu.Unlock()
 }
@@ -339,7 +438,7 @@ func (c *Conn) keepaliveFire() {
 		c.state = StateDead
 		notify = StateDead
 	}
-	c.kaTimer = c.clock.AfterFunc(interval, c.keepaliveFire)
+	c.kaTimer = vclock.Rearm(c.clock, c.kaTimer, interval, c.kaFn)
 	c.mu.Unlock()
 	if notify != State(-1) && c.cfg.OnStateChange != nil {
 		c.cfg.OnStateChange(notify)
@@ -365,25 +464,29 @@ func (c *Conn) LastActivity() time.Time {
 	return c.lastHeard
 }
 
+// encodeFrame serializes (and seals, when a key is configured) one frame
+// into dst, which callers draw from the frame pool so the steady-state
+// path allocates nothing.
+func (c *Conn) encodeFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
+	if c.sealer != nil {
+		return c.sealer.appendSealedFrame(dst, h, payload)
+	}
+	return AppendFrame(dst, h, payload)
+}
+
 // writeFrame seals (when a key is configured) and transmits one frame to
-// the peer. It takes no locks itself; datagram writes are safe to issue
-// concurrently.
+// the peer through a pooled frame buffer. It takes no locks itself;
+// datagram writes are safe to issue concurrently.
 func (c *Conn) writeFrame(h Header, payload []byte, peer *net.UDPAddr) error {
 	if peer == nil {
 		return nil
 	}
-	if c.sealer != nil {
-		sealed, err := c.sealer.seal(h, payload)
-		if err != nil {
-			return err
-		}
-		payload = sealed
+	fb := getFrameBuf()
+	frame, err := c.encodeFrame((*fb)[:0], h, payload)
+	if err == nil {
+		_, err = c.pc.WriteToUDP(frame, peer)
 	}
-	frame, err := AppendFrame(nil, h, payload)
-	if err != nil {
-		return err
-	}
-	_, err = c.pc.WriteToUDP(frame, peer)
+	putFrameBuf(fb)
 	return err
 }
 
@@ -425,6 +528,7 @@ func (c *Conn) Close() error {
 		}
 	}
 	c.paceTimer, c.sweepTimer, c.kaTimer = nil, nil, nil
+	c.paceArmed = false
 	c.mu.Unlock()
 	if c.cfg.OnStateChange != nil {
 		c.cfg.OnStateChange(StateClosed)
@@ -518,19 +622,26 @@ func (c *Conn) SendTraced(streamID uint16, payload []byte, traceID, spanID uint6
 	}
 	seq := st.nextSeq
 	st.nextSeq++
-	buf := append([]byte(nil), payload...)
+	// The private copy lives in a pooled buffer; ownership follows the
+	// frame through the band queue and (for reliable classes) the
+	// outstanding map — see pool.go.
+	buf, pbuf := getPayloadBuf(payload)
 	if st.spec.Class != core.ClassFullBestEffort {
-		pp := &wpending{payload: buf, class: st.spec.Class, queued: true, traceID: traceID, spanID: spanID}
+		pp := getPending()
+		pp.payload, pp.pbuf = buf, pbuf
+		pp.class = st.spec.Class
+		pp.queued = true
+		pp.traceID, pp.spanID = traceID, spanID
 		if st.spec.Deadline > 0 {
 			pp.deadline = now.Add(st.spec.Deadline)
 		}
 		st.outstanding[seq] = pp
 	}
-	c.enqueueLocked(st, seq, buf, traceID, spanID)
+	c.enqueueLocked(st, seq, buf, pbuf, traceID, spanID)
 	return true, nil
 }
 
-func (c *Conn) enqueueLocked(st *wstream, seq int64, payload []byte, traceID, spanID uint64) {
+func (c *Conn) enqueueLocked(st *wstream, seq int64, payload []byte, pbuf *[]byte, traceID, spanID uint64) {
 	hdr := Header{
 		Type:    TypeData,
 		Stream:  st.spec.ID,
@@ -541,85 +652,191 @@ func (c *Conn) enqueueLocked(st *wstream, seq int64, payload []byte, traceID, sp
 		SpanID:  spanID,
 	}
 	band := st.spec.Priority.Band()
-	c.bands[band] = append(c.bands[band], outFrame{hdr: hdr, payload: payload})
+	c.bands[band].push(outFrame{hdr: hdr, payload: payload, pbuf: pbuf})
 	c.schedulePaceLocked()
 }
 
 // schedulePaceLocked arms the pace timer if frames are queued and no fire
 // is pending. The delay honours nextSend, so the budget gap survives idle
-// periods between enqueues.
+// periods between enqueues. The timer object is created once and re-armed
+// in place afterwards, keeping the chain allocation-free.
 func (c *Conn) schedulePaceLocked() {
-	if c.paceTimer != nil || c.closed || c.emptyBandsLocked() {
+	if c.paceArmed || c.closed || c.emptyBandsLocked() {
 		return
 	}
 	d := c.nextSend.Sub(c.clock.Now())
 	if d < 0 {
 		d = 0
 	}
-	c.paceTimer = c.clock.AfterFunc(d, c.paceFire)
+	c.paceArmed = true
+	if c.paceTimer == nil {
+		c.paceTimer = c.clock.AfterFunc(d, c.paceFn)
+	} else {
+		c.paceTimer = vclock.Rearm(c.clock, c.paceTimer, d, c.paceFn)
+	}
 }
 
-// paceFire serializes exactly one frame from the highest non-empty band at
-// the controller budget, then re-arms itself if more are queued.
+// paceFire drains up to MaxBurst frames from the highest non-empty bands
+// at the controller budget into one transport write, then re-arms itself
+// if more are queued. With the default MaxBurst of 1 (or a transport
+// without batch support) it serializes exactly one frame per fire — the
+// legacy pacing, timing-identical to every release before batching.
+//
+// Lock choreography: sendMu serializes concurrent fires and guards the
+// batch scratch; mu covers the pop/stamp/re-arm and the finalize step,
+// but is released around encode+write so the read path never waits on a
+// system call.
 func (c *Conn) paceFire() {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+
 	c.mu.Lock()
-	c.paceTimer = nil
+	c.paceArmed = false
 	if c.closed {
 		c.mu.Unlock()
 		return
 	}
-	var f outFrame
-	found := false
-	for b := range c.bands {
-		if len(c.bands[b]) > 0 {
-			f = c.bands[b][0]
-			c.bands[b] = c.bands[b][1:]
-			found = true
+	burst := c.cfg.MaxBurst
+	if c.bw == nil {
+		burst = 1
+	}
+	pops := c.sendPops[:0]
+	nowStamp := uint64(c.now().Microseconds())
+	now := c.clock.Now()
+	totalWire := 0
+	for len(pops) < burst {
+		var f outFrame
+		found := false
+		for b := range c.bands {
+			if !c.bands[b].empty() {
+				f = c.bands[b].pop()
+				found = true
+				break
+			}
+		}
+		if !found {
 			break
 		}
+		f.hdr.SendMicro = nowStamp
+		var pp *wpending
+		if st := c.streams[f.hdr.Stream]; st != nil {
+			if p, ok := st.outstanding[f.hdr.Seq]; ok {
+				p.queued = false
+				p.lastSent = now
+				p.sending = true
+				pp = p
+			}
+			st.sent++
+		}
+		wireLen := headerLen(f.hdr) + len(f.payload)
+		if c.sealer != nil {
+			wireLen += sealedOver
+		}
+		totalWire += wireLen
+		pops = append(pops, popped{f: f, pp: pp})
 	}
-	if !found {
+	c.sendPops = pops[:0] // keep the (possibly grown) scratch
+	if len(pops) == 0 {
 		c.mu.Unlock()
 		return
-	}
-	f.hdr.SendMicro = uint64(c.now().Microseconds())
-	if st := c.streams[f.hdr.Stream]; st != nil {
-		if pp, ok := st.outstanding[f.hdr.Seq]; ok {
-			pp.queued = false
-			pp.lastSent = c.clock.Now()
-		}
-		st.sent++
 	}
 	peer := c.peer
 	budget := c.ctrl.Budget()
 	if budget < 1 {
 		budget = 1
 	}
-	wireLen := HeaderLen + len(f.payload)
-	if c.sealer != nil {
-		wireLen += sealedOver
-	}
-	gap := time.Duration(float64(wireLen*8) / budget * float64(time.Second))
-	c.nextSend = c.clock.Now().Add(gap)
+	gap := time.Duration(float64(totalWire*8) / budget * float64(time.Second))
+	c.nextSend = now.Add(gap)
 	if !c.emptyBandsLocked() {
-		c.paceTimer = c.clock.AfterFunc(gap, c.paceFire)
+		c.paceArmed = true
+		c.paceTimer = vclock.Rearm(c.clock, c.paceTimer, gap, c.paceFn)
 	}
 	c.mu.Unlock()
 
-	if err := c.writeFrame(f.hdr, f.payload, peer); err == nil && peer != nil {
-		c.mu.Lock()
-		c.SentFrames++
-		c.mu.Unlock()
+	sent := c.writePopped(pops, peer)
+
+	c.mu.Lock()
+	if peer != nil {
+		c.SentFrames += int64(sent)
+		if len(pops) > 1 {
+			c.BatchWrites++
+			c.BatchFrames += int64(sent)
+		}
+	}
+	for i := range pops {
+		p := &pops[i]
+		if p.pp != nil {
+			p.pp.sending = false
+			if p.pp.orphaned {
+				// Acked (or dropped) while we were writing: the record
+				// already left the outstanding map, so the buffers come
+				// home here.
+				putPayloadBuf(p.pp.pbuf)
+				putPending(p.pp)
+			}
+		} else if p.f.pbuf != nil {
+			// Best-effort frame, or a reliable one whose record was
+			// removed before the pop: the band reference was the last.
+			putPayloadBuf(p.f.pbuf)
+		}
+		pops[i] = popped{}
+	}
+	c.mu.Unlock()
+}
+
+// writePopped encodes the popped frames into the per-connection frame
+// buffers and hands them to the transport — one WriteToUDP for a single
+// frame, one batch write for several. It reports how many frames the
+// transport accepted; unsent tail frames on a short batch are accounted
+// as loss, exactly like a dropped datagram.
+func (c *Conn) writePopped(pops []popped, peer *net.UDPAddr) int {
+	if peer == nil {
+		return 0
+	}
+	dgs := c.sendDgs[:0]
+	for i := range pops {
+		fb := c.sendFrames[i]
+		frame, err := c.encodeFrame((*fb)[:0], pops[i].f.hdr, pops[i].f.payload)
+		if err != nil {
+			continue
+		}
+		dgs = append(dgs, Datagram{B: frame, Addr: peer})
+	}
+	c.sendDgs = dgs[:0]
+	switch {
+	case len(dgs) == 0:
+		return 0
+	case len(dgs) == 1:
+		if _, err := c.pc.WriteToUDP(dgs[0].B, peer); err != nil {
+			return 0
+		}
+		return 1
+	default:
+		n, _ := c.bw.WriteBatch(dgs)
+		return n
 	}
 }
 
 func (c *Conn) emptyBandsLocked() bool {
 	for b := range c.bands {
-		if len(c.bands[b]) > 0 {
+		if !c.bands[b].empty() {
 			return false
 		}
 	}
 	return true
+}
+
+// QueuedFrames reports how many frames are waiting in the pacing bands —
+// the sender-side backlog a saturation workload watches to keep the pipe
+// full without unbounded queue growth.
+func (c *Conn) QueuedFrames() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for b := range c.bands {
+		n += c.bands[b].len()
+	}
+	return n
 }
 
 // handleDatagram parses and processes one inbound datagram. It is the
@@ -706,16 +923,16 @@ func (c *Conn) onDataLocked(hdr Header, payload []byte) {
 
 	// Gap-driven NACK for reliable classes.
 	if core.Class(hdr.Class) != core.ClassFullBestEffort && hdr.Seq > st.expected {
-		var missing []int64
+		missing := c.nackScratch[:0]
 		for s := st.expected; s < hdr.Seq && len(missing) < 64; s++ {
 			if !st.received[s] && st.nacked[s] < 2 {
 				st.nacked[s]++
 				missing = append(missing, s)
 			}
 		}
+		c.nackScratch = missing[:0]
 		if len(missing) > 0 {
-			nack := Header{Type: TypeNack, Stream: hdr.Stream}
-			c.writeFrame(nack, EncodeNackPayload(missing), c.peer) //nolint:errcheck // best-effort nack
+			c.writeNackLocked(hdr.Stream, missing)
 		}
 	}
 	if hdr.Seq >= st.expected {
@@ -739,6 +956,45 @@ func (c *Conn) onDataLocked(hdr Header, payload []byte) {
 	}
 }
 
+// writeNackLocked sends the gap list, chunked so no single NACK payload
+// can exceed MaxPayload (an oversized datagram would be rejected by the
+// peer's decoder and silently lose the whole signal). The payload is
+// built in a pooled buffer.
+func (c *Conn) writeNackLocked(stream uint16, missing []int64) {
+	for len(missing) > 0 {
+		n := len(missing)
+		if n > MaxNackEntries {
+			n = MaxNackEntries
+		}
+		pb := payloadPool.Get().(*[]byte)
+		p := AppendNackPayload((*pb)[:0], missing[:n])
+		nack := Header{Type: TypeNack, Stream: stream}
+		c.writeFrame(nack, p, c.peer) //nolint:errcheck // best-effort nack
+		putPayloadBuf(pb)
+		missing = missing[n:]
+	}
+}
+
+// removePendingLocked retires a reliable frame's record from the
+// outstanding map and returns its buffers to the pools — unless a band
+// entry or an in-flight write still references them, in which case the
+// pace loop inherits the release (see pool.go for the full ownership
+// rules).
+func (c *Conn) removePendingLocked(st *wstream, seq int64, pp *wpending) {
+	delete(st.outstanding, seq)
+	if pp.queued {
+		// A band entry still holds the payload; paceFire releases it
+		// after the write when it finds no outstanding record.
+		return
+	}
+	if pp.sending {
+		pp.orphaned = true // paceFire's finalize step releases both
+		return
+	}
+	putPayloadBuf(pp.pbuf)
+	putPending(pp)
+}
+
 func (c *Conn) onAckLocked(hdr Header) {
 	now := c.now()
 	rtt := now - time.Duration(hdr.SendMicro)*time.Microsecond
@@ -750,7 +1006,9 @@ func (c *Conn) onAckLocked(hdr Header) {
 	if !ok {
 		return
 	}
-	delete(st.outstanding, hdr.Seq)
+	if pp, ok := st.outstanding[hdr.Seq]; ok {
+		c.removePendingLocked(st, hdr.Seq, pp)
+	}
 	if hdr.Seq > st.maxAcked {
 		st.maxAcked = hdr.Seq
 	}
@@ -788,7 +1046,7 @@ func (c *Conn) onNackLocked(hdr Header, payload []byte) {
 }
 
 func (c *Conn) lossEligibleLocked(pp *wpending) bool {
-	if pp.queued || pp.lastSent.IsZero() {
+	if pp.queued || pp.sending || pp.lastSent.IsZero() {
 		return false
 	}
 	guard := c.ctrl.SRTT()
@@ -804,18 +1062,18 @@ func (c *Conn) onLostLocked(st *wstream, seq int64, pp *wpending) {
 		affordable := pp.deadline.IsZero() ||
 			(c.ctrl.SRTT() > 0 && c.clock.Now().Add(c.ctrl.SRTT()/2).Before(pp.deadline))
 		if !affordable || pp.retx >= c.cfg.RetxLimit {
-			delete(st.outstanding, seq)
+			c.removePendingLocked(st, seq, pp)
 			return
 		}
 	}
 	if pp.class == core.ClassCritical && pp.retx >= c.cfg.RetxLimit*4 {
-		delete(st.outstanding, seq)
+		c.removePendingLocked(st, seq, pp)
 		return
 	}
 	pp.retx++
 	pp.queued = true
 	st.retx++
-	c.enqueueLocked(st, seq, pp.payload, pp.traceID, pp.spanID)
+	c.enqueueLocked(st, seq, pp.payload, pp.pbuf, pp.traceID, pp.spanID)
 }
 
 // sweepFire retransmits reliable tail losses that produce no gap signal,
@@ -848,12 +1106,12 @@ func (c *Conn) sweepFire() {
 			if !ok {
 				continue
 			}
-			if !pp.queued && !pp.lastSent.IsZero() && c.clock.Since(pp.lastSent) >= stale {
+			if !pp.queued && !pp.sending && !pp.lastSent.IsZero() && c.clock.Since(pp.lastSent) >= stale {
 				c.onLostLocked(st, seq, pp)
 			}
 		}
 	}
-	c.sweepTimer = c.clock.AfterFunc(sweepInterval, c.sweepFire)
+	c.sweepTimer = vclock.Rearm(c.clock, c.sweepTimer, sweepInterval, c.sweepFn)
 }
 
 // StreamStats is a snapshot of one stream's counters.
@@ -880,6 +1138,14 @@ func (c *Conn) AuthFailureCount() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.AuthFailures
+}
+
+// BatchStats reports the batch-coalescing counters: how many transport
+// writes carried more than one frame, and how many frames rode in them.
+func (c *Conn) BatchStats() (writes, frames int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.BatchWrites, c.BatchFrames
 }
 
 // streamSeqs snapshots every sending stream's next sequence number, for
@@ -935,6 +1201,21 @@ func (c *Conn) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 		return c.SentFrames
 	}, labels...)
 	reg.CounterFunc("mar_wire_auth_failures_total", c.AuthFailureCount, labels...)
+	reg.CounterFunc("mar_wire_batch_writes_total", func() int64 {
+		w, _ := c.BatchStats()
+		return w
+	}, labels...)
+	reg.CounterFunc("mar_wire_batch_frames_total", func() int64 {
+		_, f := c.BatchStats()
+		return f
+	}, labels...)
+	reg.GaugeFunc("mar_wire_batch_frames_avg", func() float64 {
+		w, f := c.BatchStats()
+		if w == 0 {
+			return 0
+		}
+		return float64(f) / float64(w)
+	}, labels...)
 	reg.GaugeFunc("mar_wire_srtt_seconds", func() float64 { return c.SRTT().Seconds() }, labels...)
 	reg.GaugeFunc("mar_wire_budget_bps", c.Budget, labels...)
 

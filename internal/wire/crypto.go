@@ -4,8 +4,10 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Section VI-G: "Heavy usage of cryptography should be performed for every
@@ -16,9 +18,20 @@ import (
 // acknowledgment forgery is also prevented.
 //
 // Sealed wire layout: header || nonce(12) || ciphertext(plaintext+16).
+//
+// Nonce scheme: the 12 bytes on the wire are a per-sealer random 4-byte
+// prefix followed by a 64-bit little-endian counter. The prefix is drawn
+// from crypto/rand once at sealer construction, so the only per-packet
+// cost is an atomic increment — no rand.Read syscall on the send path —
+// while two endpoints (or a restarted endpoint) sharing one key still
+// seal under disjoint nonce spaces with overwhelming probability. GCM
+// only requires nonce uniqueness per key, never unpredictability, and the
+// receiver treats the 12 bytes as opaque, so v1/v2/v3 frames sealed under
+// the old fully-random scheme interoperate unchanged.
 
 const (
 	nonceLen   = 12
+	noncePfx   = nonceLen - 8 // random prefix bytes ahead of the counter
 	gcmTagLen  = 16
 	sealedOver = nonceLen + gcmTagLen
 )
@@ -30,7 +43,9 @@ var ErrBadKey = errors.New("wire: key must be 16, 24 or 32 bytes")
 var ErrAuthFailed = errors.New("wire: frame authentication failed")
 
 type sealer struct {
-	aead cipher.AEAD
+	aead   cipher.AEAD
+	prefix [noncePfx]byte
+	ctr    atomic.Uint64
 }
 
 func newSealer(key []byte) (*sealer, error) {
@@ -47,7 +62,48 @@ func newSealer(key []byte) (*sealer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: gcm: %w", err)
 	}
-	return &sealer{aead: aead}, nil
+	s := &sealer{aead: aead}
+	if _, err := rand.Read(s.prefix[:]); err != nil {
+		return nil, fmt.Errorf("wire: nonce prefix: %w", err)
+	}
+	return s, nil
+}
+
+// putNonce writes the next nonce (prefix || counter) into dst, which must
+// be nonceLen bytes.
+func (s *sealer) putNonce(dst []byte) {
+	copy(dst, s.prefix[:])
+	binary.LittleEndian.PutUint64(dst[noncePfx:], s.ctr.Add(1))
+}
+
+// appendSealedFrame encodes the complete sealed frame — header, nonce,
+// ciphertext, tag — for h and payload into dst and returns the extended
+// slice. With dst capacity ≥ headerLen(h)+sealedOver+len(payload) it
+// allocates nothing: the header is written in place, its bytes (minus the
+// trailing payload-length field) serve as the AAD, and AES-GCM seals the
+// payload directly after the nonce. This is the only sealing path the
+// send pipeline uses; seal below is the historical buffer-returning form
+// kept for tests and header-compat tooling.
+func (s *sealer) appendSealedFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
+	sealedLen := sealedOver + len(payload)
+	if sealedLen > MaxPayload {
+		return dst, fmt.Errorf("%w: %d bytes sealed", ErrOversize, sealedLen)
+	}
+	switch h.Type {
+	case TypeData, TypeAck, TypeNack, TypePing, TypePong:
+	default:
+		return dst, fmt.Errorf("%w: %d", ErrBadType, h.Type)
+	}
+	hlen := headerLen(h)
+	base := len(dst)
+	dst = append(dst, make([]byte, hlen+nonceLen)...)
+	putHeader(dst[base:base+hlen], h, sealedLen)
+	aad := dst[base : base+hlen-2] // payload length excluded, as in headerAAD
+	nonce := dst[base+hlen : base+hlen+nonceLen]
+	s.putNonce(nonce)
+	// Seal appends ciphertext+tag after the nonce; the aad region is
+	// strictly before the append point, so the in-place overlap is safe.
+	return s.aead.Seal(dst, nonce, payload, aad), nil
 }
 
 // headerAAD renders the header bytes used as associated data. It must
@@ -65,12 +121,13 @@ func headerAAD(h Header) []byte {
 	return frame[:headerLen(h)-2] // strip the 2-byte payload length
 }
 
-// seal encrypts payload under a fresh random nonce, binding the header.
+// seal encrypts payload under a fresh nonce, binding the header, and
+// returns nonce||ciphertext||tag in a fresh buffer. The fast path uses
+// appendSealedFrame instead; this form remains for tests and tools that
+// want the sealed payload alone.
 func (s *sealer) seal(h Header, payload []byte) ([]byte, error) {
 	out := make([]byte, nonceLen, nonceLen+len(payload)+gcmTagLen)
-	if _, err := rand.Read(out[:nonceLen]); err != nil {
-		return nil, fmt.Errorf("wire: nonce: %w", err)
-	}
+	s.putNonce(out[:nonceLen])
 	return s.aead.Seal(out, out[:nonceLen], payload, headerAAD(h)), nil
 }
 

@@ -48,6 +48,26 @@ func FuzzHeaderDecode(f *testing.F) {
 		frame, _ := AppendFrame(nil, Header{Type: TypeAck, TraceID: 1, SpanID: 2}, nil)
 		return frame[:HeaderLen+4]
 	}())
+	// Batch-boundary shapes: the batched I/O path hands the decoder frames
+	// cut from mmsg ring buffers, so seed the exact edges — a frame filling
+	// MaxPayload to the byte, two frames packed back-to-back (a decoder
+	// must take exactly the first and ignore the neighbor), and a maximal
+	// frame with one trailing byte shaved (truncated mid-payload).
+	f.Add(func() []byte {
+		frame, _ := AppendFrame(nil, Header{Type: TypeData, Seq: 1}, bytes.Repeat([]byte{0xEE}, MaxPayload))
+		return frame
+	}())
+	f.Add(func() []byte {
+		a, _ := AppendFrame(nil, Header{Type: TypeData, Seq: 2}, []byte("first"))
+		return func() []byte {
+			b, _ := AppendFrame(a, Header{Type: TypeAck, Seq: 3}, nil)
+			return b
+		}()
+	}())
+	f.Add(func() []byte {
+		frame, _ := AppendFrame(nil, Header{Type: TypeData, Seq: 4, TraceID: 9, SpanID: 10}, bytes.Repeat([]byte{0xDB}, MaxPayload))
+		return frame[:len(frame)-1]
+	}())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, payload, err := DecodeFrame(data)
@@ -82,6 +102,14 @@ func FuzzNackDecode(f *testing.F) {
 	f.Add(EncodeNackPayload([]int64{1, 2, 3, -9}))
 	f.Add(EncodeNackPayload(nil))
 	f.Add([]byte{0xFF, 0xFF}) // declares 65535 seqs, carries none
+	// Clamp boundary: exactly MaxNackEntries round-trips; one more is the
+	// first count the decoder must refuse (no conforming encoder emits it).
+	f.Add(EncodeNackPayload(make([]int64, MaxNackEntries)))
+	f.Add(func() []byte {
+		p := AppendNackPayload(nil, make([]int64, MaxNackEntries))
+		p[0], p[1] = byte(MaxNackEntries+1), byte((MaxNackEntries+1)>>8)
+		return p
+	}())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		missing, err := DecodeNackPayload(data)

@@ -64,8 +64,8 @@ const (
 	Magic           = 0xA27B
 	Version         = 1
 	VersionTraced   = 3
-	HeaderLen       = 26 // legacy (v1/v2) header length
-	HeaderLenTraced = 42 // v3 header length: legacy prefix + trace ids
+	HeaderLen       = 26   // legacy (v1/v2) header length
+	HeaderLenTraced = 42   // v3 header length: legacy prefix + trace ids
 	MaxPayload      = 1200 // keeps frames under typical path MTU
 )
 
@@ -116,25 +116,33 @@ func AppendFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
 	default:
 		return dst, fmt.Errorf("%w: %d", ErrBadType, h.Type)
 	}
-	var hdr [HeaderLenTraced]byte
-	binary.LittleEndian.PutUint16(hdr[0:], Magic)
-	hdr[2] = Version
-	hdr[3] = h.Type
-	binary.LittleEndian.PutUint16(hdr[4:], h.Stream)
-	hdr[6] = h.Class
-	hdr[7] = h.Prio
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(h.Seq))
-	binary.LittleEndian.PutUint64(hdr[16:], h.SendMicro)
 	n := headerLen(h)
-	if n == HeaderLenTraced {
-		hdr[2] = VersionTraced
-		binary.LittleEndian.PutUint64(hdr[24:], h.TraceID)
-		binary.LittleEndian.PutUint64(hdr[32:], h.SpanID)
-	}
-	binary.LittleEndian.PutUint16(hdr[n-2:], uint16(len(payload)))
-	dst = append(dst, hdr[:n]...)
+	base := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	putHeader(dst[base:base+n], h, len(payload))
 	dst = append(dst, payload...)
 	return dst, nil
+}
+
+// putHeader writes the wire header for h into dst, which must be exactly
+// headerLen(h) bytes, declaring payloadLen. It allocates nothing — the
+// fast path encodes straight into a pooled frame buffer — and performs no
+// validation; callers (AppendFrame, the sealer) validate first.
+func putHeader(dst []byte, h Header, payloadLen int) {
+	binary.LittleEndian.PutUint16(dst[0:], Magic)
+	dst[2] = Version
+	dst[3] = h.Type
+	binary.LittleEndian.PutUint16(dst[4:], h.Stream)
+	dst[6] = h.Class
+	dst[7] = h.Prio
+	binary.LittleEndian.PutUint64(dst[8:], uint64(h.Seq))
+	binary.LittleEndian.PutUint64(dst[16:], h.SendMicro)
+	if len(dst) == HeaderLenTraced {
+		dst[2] = VersionTraced
+		binary.LittleEndian.PutUint64(dst[24:], h.TraceID)
+		binary.LittleEndian.PutUint64(dst[32:], h.SpanID)
+	}
+	binary.LittleEndian.PutUint16(dst[len(dst)-2:], uint16(payloadLen))
 }
 
 // DecodeFrame parses one frame from buf, returning the header and a
@@ -189,22 +197,52 @@ func DecodeFrame(buf []byte) (Header, []byte, error) {
 	return h, buf[hlen:end], nil
 }
 
-// EncodeNackPayload serializes a list of missing sequence numbers.
+// MaxNackEntries is the most missing-sequence entries one NACK payload
+// can carry and still fit inside MaxPayload. An unclamped gap list would
+// emit an oversized datagram that the peer's DecodeFrame bounds check
+// rejects — silently losing the whole NACK — so the encoder clamps and
+// senders chunk instead.
+const MaxNackEntries = (MaxPayload - 2) / 8
+
+// EncodeNackPayload serializes a list of missing sequence numbers,
+// clamping to the MaxNackEntries that fit one frame. Callers with longer
+// gap lists send several NACKs (see AppendNackPayload for the
+// allocation-free variant used on the hot path).
 func EncodeNackPayload(missing []int64) []byte {
-	out := make([]byte, 2+8*len(missing))
-	binary.LittleEndian.PutUint16(out, uint16(len(missing)))
-	for i, s := range missing {
-		binary.LittleEndian.PutUint64(out[2+8*i:], uint64(s))
+	if len(missing) > MaxNackEntries {
+		missing = missing[:MaxNackEntries]
 	}
-	return out
+	return AppendNackPayload(nil, missing)
 }
 
-// DecodeNackPayload parses a NACK payload.
+// AppendNackPayload serializes up to MaxNackEntries of missing into dst
+// and returns the extended slice. Entries beyond the clamp are the
+// caller's to re-send in a following NACK.
+func AppendNackPayload(dst []byte, missing []int64) []byte {
+	if len(missing) > MaxNackEntries {
+		missing = missing[:MaxNackEntries]
+	}
+	base := len(dst)
+	dst = append(dst, make([]byte, 2+8*len(missing))...)
+	binary.LittleEndian.PutUint16(dst[base:], uint16(len(missing)))
+	for i, s := range missing {
+		binary.LittleEndian.PutUint64(dst[base+2+8*i:], uint64(s))
+	}
+	return dst
+}
+
+// DecodeNackPayload parses a NACK payload. Counts above MaxNackEntries
+// are rejected: no conforming sender emits them (the encoder clamps), so
+// they are corruption, and accepting one would decode entries that can
+// never round-trip through a frame.
 func DecodeNackPayload(p []byte) ([]int64, error) {
 	if len(p) < 2 {
 		return nil, ErrTruncated
 	}
 	n := int(binary.LittleEndian.Uint16(p))
+	if n > MaxNackEntries {
+		return nil, fmt.Errorf("%w: %d NACK entries", ErrOversize, n)
+	}
 	if len(p) < 2+8*n {
 		return nil, ErrTruncated
 	}

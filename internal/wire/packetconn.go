@@ -9,6 +9,9 @@ import (
 // identical protocol code runs over a real kernel UDP socket or the
 // in-memory simulated network in internal/marsim. Implementations must be
 // safe for concurrent WriteToUDP calls.
+//
+// Implementations may additionally satisfy BatchWriter (see batch.go);
+// senders only coalesce frames when they do.
 type PacketConn interface {
 	// WriteToUDP transmits one datagram to addr.
 	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
@@ -29,19 +32,59 @@ type PacketConn interface {
 	Synchronous() bool
 }
 
+// recvBufLen sizes each receive buffer. The largest conforming ARTP frame
+// is maxFrameLen (1242) bytes; 2048 leaves room to *observe* an oversized
+// datagram (and reject it in DecodeFrame) instead of silently truncating
+// it into something that might parse.
+const recvBufLen = 2048
+
+// poisonRecvBuffers, when true, overwrites every receive buffer with the
+// poisonByte pattern after the delivery callback returns. The PacketConn
+// contract says the callback may retain pkt only for the duration of the
+// call; a caller that squirrels the slice away anyway appears to work —
+// until the buffer is reused and its data mutates at a distance. Poisoning
+// turns that latent corruption into an immediate, deterministic test
+// failure (the retained bytes become 0xDB 0xDB ...). It defaults on under
+// the race detector (debug builds, `make race`) and off in production
+// builds; tests may flip it explicitly.
+var poisonRecvBuffers = raceEnabled
+
+const poisonByte = 0xDB
+
+func poisonBuf(b []byte) {
+	if !poisonRecvBuffers {
+		return
+	}
+	for i := range b {
+		b[i] = poisonByte
+	}
+}
+
 // udpPacketConn is the production PacketConn: a kernel UDP socket plus one
-// reader goroutine.
+// reader goroutine. On Linux it reads and writes in batches (recvmmsg /
+// sendmmsg) through batchIO; elsewhere batchIO is absent and it falls back
+// to one system call per datagram.
 type udpPacketConn struct {
 	sock *net.UDPConn
+	bio  *batchIO // nil when the platform has no batch syscalls
 	wg   sync.WaitGroup
 }
 
 func newUDPPacketConn(sock *net.UDPConn) *udpPacketConn {
-	return &udpPacketConn{sock: sock}
+	return &udpPacketConn{sock: sock, bio: newBatchIO(sock)}
 }
 
 func (u *udpPacketConn) WriteToUDP(b []byte, addr *net.UDPAddr) (int, error) {
 	return u.sock.WriteToUDP(b, addr)
+}
+
+// WriteBatch implements BatchWriter: one sendmmsg per batch on Linux, a
+// plain loop elsewhere (or for addresses the raw path cannot encode).
+func (u *udpPacketConn) WriteBatch(dgs []Datagram) (int, error) {
+	if u.bio != nil {
+		return u.bio.writeBatch(dgs)
+	}
+	return writeBatchLoop(u, dgs)
 }
 
 func (u *udpPacketConn) LocalAddr() net.Addr { return u.sock.LocalAddr() }
@@ -52,13 +95,18 @@ func (u *udpPacketConn) Start(recv func(pkt []byte, from *net.UDPAddr)) {
 	u.wg.Add(1)
 	go func() {
 		defer u.wg.Done()
-		buf := make([]byte, 65535)
+		if u.bio != nil {
+			u.bio.readLoop(recv)
+			return
+		}
+		buf := make([]byte, recvBufLen)
 		for {
 			n, raddr, err := u.sock.ReadFromUDP(buf)
 			if err != nil {
 				return // closed
 			}
 			recv(buf[:n], raddr)
+			poisonBuf(buf[:n])
 		}
 	}()
 }

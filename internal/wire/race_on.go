@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether this binary was built with the race
+// detector — the package's proxy for "debug build": receive-buffer
+// poisoning (packetconn.go) defaults on exactly when racing.
+const raceEnabled = true

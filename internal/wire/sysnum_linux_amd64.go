@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package wire
+
+// Syscall numbers the stdlib syscall package predates: its generated
+// tables stop just before sendmmsg(2). Values are from the kernel's
+// arch/x86/entry/syscalls/syscall_64.tbl and are ABI-frozen.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,11 @@
+//go:build linux && arm64
+
+package wire
+
+// Syscall numbers the stdlib syscall package predates; values are from
+// the kernel's generic syscall table (asm-generic/unistd.h) used by
+// arm64 and are ABI-frozen.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)
