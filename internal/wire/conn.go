@@ -173,7 +173,11 @@ type outFrame struct {
 // pops advance a head index instead of re-slicing, so a steady-state
 // enqueue/dequeue cycle allocates nothing once the array has grown to the
 // high-water backlog (a plain s=s[1:] queue leaks capacity on every pop
-// and re-allocates forever).
+// and re-allocates forever). Pop compacts whenever the dead head region
+// outgrows the live half, so even a queue that never fully drains — the
+// sustained-backlog regime a saturation sender maintains — is bounded by
+// its backlog high-water mark, not by cumulative throughput; the copy is
+// amortized O(1) per pop.
 type frameQueue struct {
 	buf  []outFrame
 	head int
@@ -189,8 +193,14 @@ func (q *frameQueue) pop() outFrame {
 	f := q.buf[q.head]
 	q.buf[q.head] = outFrame{} // drop buffer refs so the pool owns them alone
 	q.head++
-	if q.head == len(q.buf) {
+	switch {
+	case q.head == len(q.buf):
 		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head > len(q.buf)/2:
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:]) // stale tail copies must not pin pooled buffers
+		q.buf = q.buf[:n]
 		q.head = 0
 	}
 	return f
@@ -983,8 +993,10 @@ func (c *Conn) writeNackLocked(stream uint16, missing []int64) {
 func (c *Conn) removePendingLocked(st *wstream, seq int64, pp *wpending) {
 	delete(st.outstanding, seq)
 	if pp.queued {
-		// A band entry still holds the payload; paceFire releases it
-		// after the write when it finds no outstanding record.
+		// A band entry still holds the payload and is now its sole owner;
+		// paceFire releases it after the write when it finds no outstanding
+		// record. The bookkeeping record itself is done with — recycle it.
+		putPending(pp)
 		return
 	}
 	if pp.sending {

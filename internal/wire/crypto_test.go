@@ -65,6 +65,42 @@ func TestSealerNoncesAreFresh(t *testing.T) {
 	}
 }
 
+func TestSealerNoncesRandomlySeeded(t *testing.T) {
+	// Sealers sharing one key (one per Conn, one per mux peer) must start
+	// at independent random points of the 96-bit nonce space — counters
+	// that all start at zero would reuse nonces under the same key as soon
+	// as two instances collide on a prefix.
+	a, _ := newSealer(bytes.Repeat([]byte{1}, 16))
+	b, _ := newSealer(bytes.Repeat([]byte{1}, 16))
+	var na, nb [nonceLen]byte
+	a.putNonce(na[:])
+	b.putNonce(nb[:])
+	if bytes.Equal(na[:], nb[:]) {
+		t.Fatal("two sealers produced the same first nonce")
+	}
+	if a.nonceLo.Load() == 1 || b.nonceLo.Load() == 1 {
+		t.Fatal("nonce counter started at zero instead of a random seed")
+	}
+}
+
+func TestSealerNonceCarryAcrossLowWordWrap(t *testing.T) {
+	s, _ := newSealer(bytes.Repeat([]byte{3}, 16))
+	s.nonceLo.Store(^uint64(0) - 1) // two increments from the wrap
+	hi := s.nonceHi.Load()
+	seen := map[[nonceLen]byte]bool{}
+	var n [nonceLen]byte
+	for i := 0; i < 4; i++ {
+		s.putNonce(n[:])
+		if seen[n] {
+			t.Fatalf("nonce repeated across the low-word wrap: %x", n)
+		}
+		seen[n] = true
+	}
+	if got := s.nonceHi.Load(); got != hi+1 {
+		t.Fatalf("high word = %d after wrap, want %d (carry lost)", got, hi+1)
+	}
+}
+
 func TestNewSealerKeyValidation(t *testing.T) {
 	for _, n := range []int{0, 1, 15, 17, 33} {
 		if _, err := newSealer(make([]byte, n)); !errors.Is(err, ErrBadKey) {

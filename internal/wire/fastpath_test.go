@@ -220,6 +220,36 @@ func TestSendSteadyStateZeroAllocSealed(t *testing.T) {
 	}
 }
 
+// TestFrameQueueBoundedUnderSustainedBacklog pins the compaction rule:
+// a queue that never fully drains (the saturation regime QueuedFrames is
+// documented to maintain) must keep its backing array bounded by the
+// backlog high-water mark, not grow with cumulative throughput.
+func TestFrameQueueBoundedUnderSustainedBacklog(t *testing.T) {
+	var q frameQueue
+	const backlog = 64
+	seq := int64(0)
+	for i := 0; i < backlog; i++ {
+		q.push(outFrame{hdr: Header{Seq: seq}})
+		seq++
+	}
+	next := int64(0) // FIFO order must survive compaction
+	for i := 0; i < 100_000; i++ {
+		q.push(outFrame{hdr: Header{Seq: seq}})
+		seq++
+		f := q.pop()
+		if f.hdr.Seq != next {
+			t.Fatalf("pop %d: seq = %d, want %d (order broken by compaction)", i, f.hdr.Seq, next)
+		}
+		next++
+	}
+	if got := cap(q.buf); got > 4*backlog {
+		t.Fatalf("backing array grew to %d slots for a standing backlog of %d", got, backlog)
+	}
+	if q.len() != backlog {
+		t.Fatalf("len = %d, want %d", q.len(), backlog)
+	}
+}
+
 // TestBatchCoalescing verifies the MaxBurst contract: frames that are
 // queued when the pace timer fires leave in one batch write on a
 // batch-capable transport, every frame still decodes intact and in order,

@@ -59,6 +59,9 @@ type mmsghdr struct {
 // read scratch is owned by the single reader goroutine.
 type batchIO struct {
 	rc syscall.RawConn
+	// sock is the owning stdlib socket, used for the rare datagram whose
+	// address putSockaddr cannot encode (zoned IPv6 link-local).
+	sock *net.UDPConn
 
 	wmu   sync.Mutex
 	gso   bool // UDP_SEGMENT accepted so far; cleared on first refusal
@@ -78,7 +81,7 @@ func newBatchIO(sock *net.UDPConn) *batchIO {
 	if err != nil {
 		return nil
 	}
-	return &batchIO{rc: rc, gso: true}
+	return &batchIO{rc: rc, sock: sock, gso: true}
 }
 
 // putSockaddr encodes addr into sa, returning the kernel namelen. ok is
@@ -202,13 +205,18 @@ func (b *batchIO) writeGSO(dgs []Datagram) (bool, error) {
 	var wrote int
 	var errno syscall.Errno
 	werr := b.rc.Write(func(fd uintptr) bool {
-		r1, _, e := syscall.Syscall(syscall.SYS_SENDMSG,
-			fd, uintptr(unsafe.Pointer(&hdr)), 0)
-		if e == syscall.EAGAIN {
-			return false // park in the poller until writable
+		for {
+			r1, _, e := syscall.Syscall(syscall.SYS_SENDMSG,
+				fd, uintptr(unsafe.Pointer(&hdr)), 0)
+			if e == syscall.EINTR {
+				continue // interrupted before sending anything: retry
+			}
+			if e == syscall.EAGAIN {
+				return false // park in the poller until writable
+			}
+			wrote, errno = int(r1), e
+			return true
 		}
-		wrote, errno = int(r1), e
-		return true
 	})
 	if werr != nil {
 		return false, werr
@@ -268,8 +276,10 @@ func (b *batchIO) writeBatch(dgs []Datagram) (int, error) {
 			n++
 		}
 		if n == 0 {
-			// Head of the remainder is un-encodable: stdlib path.
-			if _, err := writeBatchLoop(rawConnWriter{b.rc}, dgs[sent:sent+1]); err != nil {
+			// Head of the remainder is un-encodable (zoned v6 etc.): send it
+			// through the owning stdlib socket, which handles every address
+			// form the raw path cannot.
+			if _, err := b.sock.WriteToUDP(dgs[sent].B, dgs[sent].Addr); err != nil {
 				return sent, err
 			}
 			sent++
@@ -279,13 +289,18 @@ func (b *batchIO) writeBatch(dgs []Datagram) (int, error) {
 			var wrote int
 			var errno syscall.Errno
 			werr := b.rc.Write(func(fd uintptr) bool {
-				r1, _, e := syscall.Syscall6(sysSENDMMSG,
-					fd, uintptr(unsafe.Pointer(&b.whdrs[0])), uintptr(n), 0, 0, 0)
-				if e == syscall.EAGAIN {
-					return false // park in the poller until writable
+				for {
+					r1, _, e := syscall.Syscall6(sysSENDMMSG,
+						fd, uintptr(unsafe.Pointer(&b.whdrs[0])), uintptr(n), 0, 0, 0)
+					if e == syscall.EINTR {
+						continue // interrupted before sending anything: retry
+					}
+					if e == syscall.EAGAIN {
+						return false // park in the poller until writable
+					}
+					wrote, errno = int(r1), e
+					return true
 				}
-				wrote, errno = int(r1), e
-				return true
 			})
 			if werr != nil {
 				return sent, werr
@@ -305,47 +320,6 @@ func (b *batchIO) writeBatch(dgs []Datagram) (int, error) {
 	}
 	return sent, nil
 }
-
-// rawConnWriter adapts a RawConn to the one-method surface writeBatchLoop
-// needs, used for the rare un-batchable datagram. It cannot reuse
-// udpPacketConn.WriteToUDP directly because batchIO never sees its owner.
-type rawConnWriter struct{ rc syscall.RawConn }
-
-func (w rawConnWriter) WriteToUDP(p []byte, addr *net.UDPAddr) (int, error) {
-	var sa syscall.RawSockaddrInet6
-	namelen, ok := putSockaddr(&sa, addr)
-	if !ok {
-		return 0, syscall.EAFNOSUPPORT
-	}
-	var n int
-	var errno syscall.Errno
-	err := w.rc.Write(func(fd uintptr) bool {
-		var base *byte
-		if len(p) > 0 {
-			base = &p[0]
-		}
-		r1, _, e := syscall.Syscall6(syscall.SYS_SENDTO,
-			fd, uintptr(unsafe.Pointer(base)), uintptr(len(p)), 0,
-			uintptr(unsafe.Pointer(&sa)), uintptr(namelen))
-		if e == syscall.EAGAIN {
-			return false
-		}
-		n, errno = int(r1), e
-		return true
-	})
-	if err != nil {
-		return n, err
-	}
-	if errno != 0 {
-		return n, errno
-	}
-	return n, nil
-}
-
-func (w rawConnWriter) LocalAddr() net.Addr                       { return nil }
-func (w rawConnWriter) Close() error                              { return nil }
-func (w rawConnWriter) Start(func(pkt []byte, from *net.UDPAddr)) {}
-func (w rawConnWriter) Synchronous() bool                         { return false }
 
 // readLoop drains the socket with recvmmsg until it is closed, delivering
 // each datagram to recv. Packet buffers are loaned for the duration of the
@@ -368,16 +342,31 @@ func (b *batchIO) readLoop(recv func(pkt []byte, from *net.UDPAddr)) {
 		var got int
 		var errno syscall.Errno
 		rerr := b.rc.Read(func(fd uintptr) bool {
-			r1, _, e := syscall.Syscall6(sysRECVMMSG,
-				fd, uintptr(unsafe.Pointer(&b.rhdrs[0])), ioBatch, 0, 0, 0)
-			if e == syscall.EAGAIN {
-				return false // park in the poller until readable
+			for {
+				r1, _, e := syscall.Syscall6(sysRECVMMSG,
+					fd, uintptr(unsafe.Pointer(&b.rhdrs[0])), ioBatch, 0, 0, 0)
+				if e == syscall.EINTR {
+					continue // signal delivery / async preemption: retry
+				}
+				if e == syscall.EAGAIN {
+					return false // park in the poller until readable
+				}
+				got, errno = int(r1), e
+				return true
 			}
-			got, errno = int(r1), e
-			return true
 		})
-		if rerr != nil || errno != 0 || got <= 0 {
-			return // socket closed (or an unrecoverable error)
+		if rerr != nil {
+			return // RawConn.Read fails only when the socket is closed
+		}
+		switch errno {
+		case 0:
+		case syscall.ENOMEM, syscall.ENOBUFS:
+			continue // transient kernel memory pressure: keep the reader alive
+		default:
+			return // unrecoverable (EBADF-class): the socket is gone
+		}
+		if got <= 0 {
+			return
 		}
 		for i := 0; i < got; i++ {
 			n := int(b.rhdrs[i].n)
