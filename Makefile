@@ -4,7 +4,7 @@ GO ?= go
 # race-clean; the rest of the tree is a single-threaded simulator. marsim
 # rides along: its scenarios are single-threaded by design, and -race
 # proves the hosted stack shares no state with leaked goroutines.
-RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/... ./internal/obs/... ./internal/marsim/...
+RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/... ./internal/obs/... ./internal/marsim/... ./internal/adapt/... ./internal/offload/...
 
 # Per-fuzzer budget for the smoke pass wired into ci.
 FUZZTIME ?= 10s
@@ -48,20 +48,26 @@ overload:
 # TestDisabledTracingAllocs in the regular test pass.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./internal/obs/ ./internal/queue/ ./internal/wire/
+	$(GO) run ./cmd/marbench -adapt-out /dev/null
 
 # The wire datapath saturation study on real loopback sockets, recorded as
 # a machine-readable artifact. The packet count is fixed (never derived
 # from timing or GOMAXPROCS), so BENCH_wire.json diffs are meaningful
 # across commits on the same host; absolute numbers vary across hosts —
 # the ratios (fast path vs legacy, batched vs not) are the tracked result.
+# BENCH_adapt.json is the adaptive-degradation study: fully simulated, so
+# its numbers are deterministic per seed and diff across commits anywhere.
 bench:
-	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json
+	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json -adapt-out BENCH_adapt.json
 
-# Short coverage-guided smoke over the wire-format decoders. Go runs one
-# fuzz target per invocation, so each gets its own budget.
+# Short coverage-guided smoke over the wire-format decoders, the policy
+# header codec, and the Reed-Solomon reconstructor. Go runs one fuzz
+# target per invocation, so each gets its own budget.
 fuzz:
 	$(GO) test -fuzz FuzzHeaderDecode -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzNackDecode -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzPolicyDecode -fuzztime $(FUZZTIME) ./internal/adapt/
+	$(GO) test -fuzz FuzzReconstruct -fuzztime $(FUZZTIME) ./internal/fec/
 
 clean:
 	$(GO) clean ./...

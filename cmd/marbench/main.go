@@ -2,7 +2,7 @@
 // prints them in the paper's layout. Run with no arguments for everything,
 // or name the experiments to run:
 //
-//	marbench table1 table2 fig2 fig3 fig4 fig5 s3b s4a s4c s4d s6c s6d s6f s6h overload budget
+//	marbench table1 table2 fig2 fig3 fig4 fig5 s3b s4a s4c s4d s6c s6d s6f s6h overload budget wire adapt
 package main
 
 import (
@@ -21,10 +21,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	benchOut := flag.String("bench-out", "", "write the wire bench result as JSON to this file (runs the wire experiment)")
+	adaptOut := flag.String("adapt-out", "", "write the adaptive-degradation study as JSON to this file (runs the adapt experiment)")
 	flag.Parse()
-	// With -bench-out and no named experiments, run only the bench: the
-	// CI bench target wants the JSON artifact, not the full paper suite.
-	if *benchOut == "" || flag.NArg() > 0 {
+	// With only artifact flags and no named experiments, run only those
+	// benches: the CI bench target wants the JSON artifacts, not the full
+	// paper suite.
+	if (*benchOut == "" && *adaptOut == "") || flag.NArg() > 0 {
 		if err := run(flag.Args(), *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "marbench:", err)
 			os.Exit(1)
@@ -42,6 +44,37 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *adaptOut != "" {
+		if err := writeAdapt(*adaptOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "marbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeAdapt runs the adaptive-degradation study and records it as
+// machine-readable JSON (the BENCH_adapt.json artifact `make bench`
+// tracks). The study is fully simulated, so the artifact is a function
+// of the seed alone.
+func writeAdapt(path string, seed int64) error {
+	res := experiments.Adapt(seed)
+	fmt.Println(res.Format())
+	if res.Err != "" {
+		return fmt.Errorf("adapt study: %s", res.Err)
+	}
+	if !res.AdaptiveBeatsAllTiers || !res.FewerBytesThanFull || !res.Deterministic {
+		return fmt.Errorf("adapt study failed acceptance: beatsAll=%v fewerBytes=%v deterministic=%v",
+			res.AdaptiveBeatsAllTiers, res.FewerBytesThanFull, res.Deterministic)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeBench runs the wire datapath saturation bench and records it as
@@ -119,6 +152,7 @@ func run(args []string, seed int64) error {
 		{"overload", func(s int64) string { return experiments.Overload(s).Format() }},
 		{"budget", func(s int64) string { return experiments.Budget(s).Format() }},
 		{"wire", func(s int64) string { return experiments.WireBench(s).Format() }},
+		{"adapt", func(s int64) string { return experiments.Adapt(s).Format() }},
 	}
 	want := make(map[string]bool, len(args))
 	for _, a := range args {

@@ -1,0 +1,28 @@
+package adapt
+
+import "marnet/internal/fec"
+
+// PlanRepair returns the smallest repair-shard count m in [0, maxM] such
+// that a Reed–Solomon (k, m) block survives i.i.d. symbol loss at rate
+// loss with residual block-loss probability at most target — the §VI-C
+// sizing rule: spend exactly as much proactive redundancy as the measured
+// loss demands, no more. If even maxM cannot reach the target (loss too
+// high), it returns maxM: ship the best protection the overhead cap
+// allows rather than giving up.
+func PlanRepair(k, maxM int, loss, target float64) int {
+	if k < 1 || maxM <= 0 {
+		return 0
+	}
+	if loss <= 0 {
+		return 0
+	}
+	if loss >= 1 {
+		return maxM
+	}
+	for m := 0; m <= maxM; m++ {
+		if fec.ResidualLoss(k, m, loss) <= target {
+			return m
+		}
+	}
+	return maxM
+}

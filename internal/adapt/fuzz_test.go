@@ -1,0 +1,44 @@
+package adapt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPolicyDecode hammers the control-message decoder: it must never
+// panic, must reject anything the encoder could not have produced, and
+// must round-trip exactly whatever it accepts.
+func FuzzPolicyDecode(f *testing.F) {
+	f.Add(EncodePolicy(Policy{Mode: ModeFull, Retransmit: true}, 0))
+	f.Add(EncodePolicy(Policy{Mode: ModeFeatures, K: 8, M: 2}, 42))
+	f.Add(EncodePolicy(Policy{Mode: ModeTracking, K: 10, M: 4}, 1<<31))
+	f.Add(EncodePolicy(Policy{Mode: ModeSkip, Retransmit: true}, 7))
+	f.Add([]byte{})
+	f.Add([]byte{policyVersion})
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 9, 1, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 1, 0, 200, 100, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, tick, err := DecodePolicy(b)
+		if err != nil {
+			return
+		}
+		// Accepted: the decode must be canonical — re-encoding reproduces
+		// the input header byte for byte.
+		enc := EncodePolicy(p, tick)
+		if !bytes.Equal(enc, b[:PolicyLen]) {
+			t.Fatalf("decode not canonical: in %v out %v (policy %+v tick %d)", b[:PolicyLen], enc, p, tick)
+		}
+		// And the accepted policy must satisfy the documented invariants.
+		if p.Mode > ModeSkip {
+			t.Fatalf("accepted invalid mode %v", p.Mode)
+		}
+		if (p.Retransmit || p.Mode == ModeSkip) && (p.K != 0 || p.M != 0) {
+			t.Fatalf("accepted shards without FEC: %+v", p)
+		}
+		if !p.Retransmit && p.Mode != ModeSkip && (p.K < 1 || p.K+p.M > 255) {
+			t.Fatalf("accepted bad code: %+v", p)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package adapt
+
+import "marnet/internal/obs"
+
+// PublishMetrics exposes the controller on an obs registry:
+//
+//	mar_adapt_mode                   gauge   current ladder rung (0=full…3=skip)
+//	mar_adapt_retx_affordable        gauge   1 while recovery rides ARQ
+//	mar_adapt_miss_ewma              gauge   smoothed miss rate the ladder acts on
+//	mar_adapt_fec_data_shards        gauge   current K (0 under ARQ)
+//	mar_adapt_fec_repair_shards      gauge   current M (0 under ARQ)
+//	mar_adapt_mode_switches_total    counter ladder transitions
+//	mar_adapt_ticks_total            counter control intervals consumed
+//	mar_adapt_mode_dwell_ns{mode=…}  histogram time spent on each rung,
+//	                                 observed when the rung is left
+//
+// Call once per controller; gauges read through live state.
+func (c *Controller) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("mar_adapt_mode", func() float64 {
+		return float64(c.Mode())
+	}, labels...)
+	reg.GaugeFunc("mar_adapt_retx_affordable", func() float64 {
+		if c.Policy().Retransmit {
+			return 1
+		}
+		return 0
+	}, labels...)
+	reg.GaugeFunc("mar_adapt_miss_ewma", c.MissEWMA, labels...)
+	reg.GaugeFunc("mar_adapt_fec_data_shards", func() float64 {
+		return float64(c.Policy().K)
+	}, labels...)
+	reg.GaugeFunc("mar_adapt_fec_repair_shards", func() float64 {
+		return float64(c.Policy().M)
+	}, labels...)
+	reg.CounterFunc("mar_adapt_mode_switches_total", c.Switches, labels...)
+	reg.CounterFunc("mar_adapt_ticks_total", c.Ticks, labels...)
+
+	c.mu.Lock()
+	for m := Mode(0); m < numModes; m++ {
+		ls := append(append([]obs.Label(nil), labels...), obs.L("mode", m.String()))
+		c.dwell[m] = reg.Histogram("mar_adapt_mode_dwell_ns", ls...)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAdaptAcceptance pins the PR's acceptance criterion exactly as the
+// BENCH_adapt.json artifact records it: on the congestion ramp the
+// adaptive policy strictly beats every fixed tier on budget hits while
+// shipping fewer bytes than fixed-full, and the same seed reproduces
+// the decision trace bit-for-bit.
+func TestAdaptAcceptance(t *testing.T) {
+	r := Adapt(42)
+	if r.Err != "" {
+		t.Fatalf("study failed: %s", r.Err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d policy rows, want 4", len(r.Rows))
+	}
+	if !r.AdaptiveBeatsAllTiers {
+		t.Error("adaptive did not strictly beat every fixed tier on budget hits")
+	}
+	if !r.FewerBytesThanFull {
+		t.Error("adaptive shipped at least as many bytes as fixed-full")
+	}
+	if !r.Deterministic {
+		t.Error("same-seed rerun diverged")
+	}
+	if r.DecisionHash == 0 {
+		t.Error("decision hash is zero — controller trace missing")
+	}
+	if r.HandoverRetxFlips != 2 {
+		t.Errorf("handover ARQ<->FEC flips = %d, want 2", r.HandoverRetxFlips)
+	}
+	if r.HandoverHitsAdaptive <= r.HandoverHitsFull {
+		t.Errorf("handover: adaptive hits %d <= fixed-full %d",
+			r.HandoverHitsAdaptive, r.HandoverHitsFull)
+	}
+	if r.GESwitchesNaive < 4*(r.GESwitchesGuarded+1) {
+		t.Errorf("hysteresis margin collapsed: guarded=%d naive=%d",
+			r.GESwitchesGuarded, r.GESwitchesNaive)
+	}
+	if r.GEPeakWireLoss <= 0 {
+		t.Error("GE scenario left no mark on the wire loss estimator")
+	}
+	out := r.Format()
+	for _, want := range []string{"adaptive", "fixed-full", "fixed-features", "fixed-tracking", "deterministic: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

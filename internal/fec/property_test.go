@@ -1,0 +1,86 @@
+package fec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestResidualLossMatchesCodecMonteCarlo closes the gap the pure counting
+// test leaves open: it Monte-Carlo-simulates the *actual codec* — encode k
+// data shards, erase each of the k+m shards independently with probability
+// p, attempt Reconstruct — and checks that the observed decode-failure
+// rate matches the analytic ResidualLoss prediction, and that every
+// successful decode returns the original data bit-exactly. If the code
+// ever failed with ≤ m erasures (a singular decode matrix, say), the
+// failure rate would sit above the prediction and this test would catch
+// what the counting version cannot.
+func TestResidualLossMatchesCodecMonteCarlo(t *testing.T) {
+	cases := []struct {
+		k, m   int
+		p      float64
+		trials int
+	}{
+		{4, 2, 0.2, 20000},
+		{8, 2, 0.1, 20000},
+		{5, 0, 0.05, 20000},
+		{6, 3, 0.3, 20000},
+		{10, 4, 0.15, 20000},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range cases {
+		rs, err := NewRS(tc.k, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := mkShards(rng, tc.k, 24)
+		repair, err := rs.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := make([][]byte, tc.k+tc.m)
+		copy(full, data)
+		copy(full[tc.k:], repair)
+
+		fails := 0
+		shards := make([][]byte, len(full))
+		for i := 0; i < tc.trials; i++ {
+			erased := 0
+			for j := range full {
+				if rng.Float64() < tc.p {
+					shards[j] = nil
+					erased++
+				} else {
+					shards[j] = full[j]
+				}
+			}
+			got, err := rs.Reconstruct(shards)
+			if err != nil {
+				fails++
+				if erased <= tc.m {
+					t.Fatalf("RS(%d,%d): decode failed with only %d erasures: %v", tc.k, tc.m, erased, err)
+				}
+				continue
+			}
+			if erased > tc.m {
+				t.Fatalf("RS(%d,%d): decode claimed success with %d > m erasures", tc.k, tc.m, erased)
+			}
+			for j := 0; j < tc.k; j++ {
+				if !bytes.Equal(got[j], data[j]) {
+					t.Fatalf("RS(%d,%d): reconstructed shard %d differs from original", tc.k, tc.m, j)
+				}
+			}
+		}
+
+		want := ResidualLoss(tc.k, tc.m, tc.p)
+		got := float64(fails) / float64(tc.trials)
+		// Five binomial standard deviations plus a hair for the edge cases
+		// where want is very small.
+		tol := 5*math.Sqrt(want*(1-want)/float64(tc.trials)) + 2e-3
+		if math.Abs(got-want) > tol {
+			t.Errorf("RS(%d,%d) p=%v: codec failure rate %v vs ResidualLoss %v (tol %v)",
+				tc.k, tc.m, tc.p, got, want, tol)
+		}
+	}
+}

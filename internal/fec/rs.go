@@ -86,18 +86,18 @@ func (rs *RS) Reconstruct(shards [][]byte) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: got %d shards, want %d", ErrBadParams, len(shards), rs.K+rs.M)
 	}
 	present := 0
-	size := 0
+	size := -1 // -1, not 0: a zero-length first shard must not re-arm the init branch
 	for _, s := range shards {
 		if s != nil {
 			present++
-			if size == 0 {
+			if size < 0 {
 				size = len(s)
 			} else if len(s) != size {
 				return nil, ErrShardSize
 			}
 		}
 	}
-	if size == 0 {
+	if size <= 0 {
 		return nil, ErrShardSize
 	}
 	if present < rs.K {

@@ -231,6 +231,7 @@ type Host struct {
 	name        string
 	profile     phy.Profile
 	partitioned bool
+	upFilter    simnet.PacketFilter
 	eps         []*Endpoint
 }
 
@@ -269,12 +270,24 @@ func (h *Host) Partition(on bool) {
 	}
 }
 
+// SetUplinkFilter attaches an external per-packet fault process (for
+// example faults.NewLinkFilter with a Gilbert–Elliott burst model) to the
+// uplink of every live and future endpoint of this host. Pass nil to clear
+// it. The radio's own Bernoulli loss still applies on top.
+func (h *Host) SetUplinkFilter(f simnet.PacketFilter) {
+	h.upFilter = f
+	for _, ep := range h.eps {
+		h.applyTo(ep)
+	}
+}
+
 func (h *Host) applyTo(ep *Endpoint) {
 	p := h.profile
 	loss := p.Loss
 	if h.partitioned {
 		loss = 1
 	}
+	ep.up.SetFilter(h.upFilter)
 	ep.up.SetRate(p.Up)
 	ep.up.SetDelay(p.OneWay)
 	ep.up.SetJitter(p.Jitter)

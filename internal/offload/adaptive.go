@@ -5,10 +5,23 @@ import (
 	"math"
 	"time"
 
+	"marnet/internal/adapt"
 	"marnet/internal/simnet"
 	"marnet/internal/trace"
 	"marnet/internal/vision"
 )
+
+// pruneHorizon bounds per-frame bookkeeping: request/response state older
+// than this many frames is dropped, and an offload still unanswered after
+// it is written off as a straggler so the trigger can fire again. Without
+// the cap, rxSeen and start grow for the life of the client, and a single
+// lost fix leaves the trigger wedged behind a stale inflight flag forever.
+const pruneHorizon = 64
+
+// PolicyFunc supplies the current shipping policy from an adaptive
+// degradation controller (package adapt). It is polled once per offload
+// attempt.
+type PolicyFunc func() adapt.Policy
 
 // AdaptiveClient is a Glimpse-style pipeline with the real tracker in the
 // loop: each frame is tracked locally with normalized cross-correlation
@@ -17,6 +30,10 @@ import (
 // the closed loop the fixed TriggerEvery pipeline approximates — "perform
 // local tracking of objects and only offload a selected number of frames"
 // — driven by actual pixels instead of a counter.
+//
+// With SetPolicy attached the *content* of each offload degrades with the
+// controller's ladder too: full frames, feature lists, or nothing at all,
+// with FEC expansion applied when retransmission is unaffordable.
 type AdaptiveClient struct {
 	cfg      ClientConfig
 	sim      *simnet.Sim
@@ -24,14 +41,18 @@ type AdaptiveClient struct {
 	truth    TruthSource
 	tracker  *vision.Tracker
 	trigger  AdaptiveTrigger
+	policy   PolicyFunc
 	next     int64
 	inflight bool
+	awaiting int64 // frame of the outstanding offload (valid while inflight)
 	rxSeen   map[int64]bool
 
 	// Results.
 	Offloads   int64
 	Tracked    int64
 	UpBytes    int64
+	Skipped    int64     // trigger firings suppressed by ModeSkip
+	Stragglers int64     // offloads written off after pruneHorizon frames
 	ErrSamples []float64 // squared pixel error per frame
 	FixLatency trace.DurStats
 	start      map[int64]time.Duration
@@ -87,6 +108,10 @@ func NewAdaptiveClient(sim *simnet.Sim, cfg ClientConfig, frames FrameSource, tr
 	}, nil
 }
 
+// SetPolicy attaches a degradation controller; nil restores the legacy
+// always-full behaviour.
+func (a *AdaptiveClient) SetPolicy(fn PolicyFunc) { a.policy = fn }
+
 // Run schedules frame processing until the horizon.
 func (a *AdaptiveClient) Run(until time.Duration) {
 	period := time.Second / time.Duration(a.cfg.FPS)
@@ -95,6 +120,7 @@ func (a *AdaptiveClient) Run(until time.Duration) {
 	tick = func() {
 		i := a.next
 		a.next++
+		a.prune()
 		frame := a.frames(i)
 		// Local tracking cost, then decide.
 		localDelay := time.Duration(TrackOps / a.cfg.DeviceOps * float64(time.Second))
@@ -108,8 +134,9 @@ func (a *AdaptiveClient) Run(until time.Duration) {
 			needFix := a.tracker.Lost() || score < a.trigger.MinNCC ||
 				i-lastFix >= a.trigger.MaxDrift
 			if needFix && !a.inflight {
-				lastFix = i
-				a.offload(i)
+				if a.offload(i) {
+					lastFix = i
+				}
 			}
 		})
 		if a.sim.Now()+period <= until {
@@ -119,11 +146,53 @@ func (a *AdaptiveClient) Run(until time.Duration) {
 	a.sim.Schedule(0, tick)
 }
 
-func (a *AdaptiveClient) offload(frame int64) {
+// prune drops bookkeeping older than pruneHorizon frames and recovers the
+// trigger when the outstanding offload's response is never coming.
+func (a *AdaptiveClient) prune() {
+	min := a.next - pruneHorizon
+	if min <= 0 {
+		return
+	}
+	for f := range a.rxSeen {
+		if f < min {
+			delete(a.rxSeen, f)
+		}
+	}
+	for f := range a.start {
+		if f < min {
+			delete(a.start, f)
+		}
+	}
+	if a.inflight && a.awaiting < min {
+		a.inflight = false
+		a.Stragglers++
+	}
+}
+
+// offload ships the trigger frame under the current policy and reports
+// whether anything actually left the device.
+func (a *AdaptiveClient) offload(frame int64) bool {
+	pol := adapt.Policy{Mode: adapt.ModeFull, Retransmit: true}
+	if a.policy != nil {
+		pol = a.policy()
+	}
+	if pol.Mode == adapt.ModeSkip {
+		a.Skipped++
+		return false
+	}
+	bytes, ops := FrameBytes, ExtractOps+MatchOps
+	if pol.Mode == adapt.ModeFeatures || pol.Mode == adapt.ModeTracking {
+		// Features are extracted on-device; the server only matches.
+		bytes, ops = FeatureBytes, MatchOps
+	}
+	// Under FEC recovery the block ships K+M shards for K shards of data.
+	bytes = int(float64(bytes)*pol.Overhead() + 0.5)
+
 	a.inflight = true
+	a.awaiting = frame
 	a.Offloads++
 	a.start[frame] = a.sim.Now()
-	remaining := FrameBytes
+	remaining := bytes
 	for remaining > 0 {
 		n := remaining
 		if n > chunkBytes {
@@ -141,10 +210,11 @@ func (a *AdaptiveClient) offload(frame int64) {
 			Created: a.sim.Now(),
 			Payload: reqChunk{
 				Client: a.cfg.Local, Frame: frame, Last: remaining == 0,
-				SentAt: a.sim.Now(), RemoteOps: ExtractOps + MatchOps, RespBytes: PoseBytes,
+				SentAt: a.sim.Now(), RemoteOps: ops, RespBytes: PoseBytes,
 			},
 		})
 	}
+	return true
 }
 
 // Handle consumes the server's recognition result: the tracker reacquires
@@ -162,7 +232,9 @@ func (a *AdaptiveClient) Handle(pkt *simnet.Packet) {
 		a.FixLatency.Observe(a.sim.Now() - t0)
 		delete(a.start, resp.Frame)
 	}
-	a.inflight = false
+	if a.inflight && resp.Frame == a.awaiting {
+		a.inflight = false
+	}
 	cur := a.next - 1
 	if cur < 0 {
 		cur = 0

@@ -1,0 +1,98 @@
+package offload
+
+import (
+	"testing"
+	"time"
+
+	"marnet/internal/adapt"
+	"marnet/internal/simnet"
+)
+
+func TestAdaptivePolicyModesShapeUplink(t *testing.T) {
+	run := func(pol adapt.Policy) *AdaptiveClient {
+		world := newDriftWorld(1.0)
+		sim, c := newAdaptiveRig(t, world, AdaptiveTrigger{MaxDrift: 15})
+		c.SetPolicy(func() adapt.Policy { return pol })
+		c.Run(2 * time.Second)
+		if err := sim.RunUntil(4 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	full := run(adapt.Policy{Mode: adapt.ModeFull, Retransmit: true})
+	if full.Offloads == 0 || full.UpBytes != full.Offloads*FrameBytes {
+		t.Errorf("full mode: %d offloads, %d bytes, want %d/offload", full.Offloads, full.UpBytes, FrameBytes)
+	}
+
+	feat := run(adapt.Policy{Mode: adapt.ModeFeatures, Retransmit: true})
+	if feat.Offloads == 0 || feat.UpBytes != feat.Offloads*FeatureBytes {
+		t.Errorf("features mode: %d offloads, %d bytes, want %d/offload", feat.Offloads, feat.UpBytes, FeatureBytes)
+	}
+
+	// FEC expansion: K=8, M=2 ships 10/8 of the feature bytes.
+	fec := run(adapt.Policy{Mode: adapt.ModeFeatures, K: 8, M: 2})
+	want := int64(FeatureBytes * 10 / 8)
+	if fec.Offloads == 0 || fec.UpBytes != fec.Offloads*want {
+		t.Errorf("FEC mode: %d offloads, %d bytes, want %d/offload", fec.Offloads, fec.UpBytes, want)
+	}
+
+	skip := run(adapt.Policy{Mode: adapt.ModeSkip, Retransmit: true})
+	if skip.Offloads != 0 || skip.UpBytes != 0 {
+		t.Errorf("skip mode shipped anyway: %d offloads, %d bytes", skip.Offloads, skip.UpBytes)
+	}
+	if skip.Skipped == 0 {
+		t.Error("skip mode recorded no suppressed triggers")
+	}
+}
+
+func TestAdaptivePrunesBookkeepingAndRecoversStragglers(t *testing.T) {
+	// Blackholed uplink: requests vanish, responses never come. The legacy
+	// client wedged forever on the first lost fix (inflight never cleared)
+	// and its maps grew without bound; now the straggler is written off
+	// after pruneHorizon frames and the trigger keeps firing.
+	world := newDriftWorld(1.0)
+	sim := simnet.New(5)
+	void := simnet.NewDemux() // nothing registered: packets are dropped
+	up := simnet.NewLink(sim, 20e6, 15*time.Millisecond, void)
+	c, err := NewAdaptiveClient(sim, ClientConfig{
+		Local: 1, Server: 100, FlowID: 1, Uplink: up,
+		DeviceOps: 1e8, FPS: 30,
+	}, world.frame, world.truth, AdaptiveTrigger{MaxDrift: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(10 * time.Second) // 300 frames
+	if err := sim.RunUntil(12 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Offloads < 3 {
+		t.Fatalf("only %d offloads — straggler recovery never unwedged the trigger", c.Offloads)
+	}
+	if c.Stragglers < c.Offloads-1 {
+		t.Errorf("stragglers = %d with %d unanswered offloads", c.Stragglers, c.Offloads)
+	}
+	if len(c.start) > pruneHorizon || len(c.rxSeen) > pruneHorizon {
+		t.Errorf("bookkeeping unbounded: start=%d rxSeen=%d", len(c.start), len(c.rxSeen))
+	}
+}
+
+func TestAdaptiveMapsPrunedOnDelivery(t *testing.T) {
+	// Healthy path: every fix is answered, so the per-frame maps stay tiny
+	// no matter how long the client runs.
+	world := newDriftWorld(1.0)
+	sim, c := newAdaptiveRig(t, world, AdaptiveTrigger{MaxDrift: 10})
+	c.Run(10 * time.Second)
+	if err := sim.RunUntil(12 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Offloads < 10 {
+		t.Fatalf("expected steady fixes, got %d", c.Offloads)
+	}
+	if len(c.start) > pruneHorizon || len(c.rxSeen) > pruneHorizon {
+		t.Errorf("maps grew past horizon: start=%d rxSeen=%d", len(c.start), len(c.rxSeen))
+	}
+	if c.Stragglers != 0 {
+		t.Errorf("healthy path produced %d stragglers", c.Stragglers)
+	}
+}

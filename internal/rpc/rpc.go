@@ -912,6 +912,12 @@ func (c *Client) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 		}
 		return 0
 	}, labels...)
+	reg.GaugeFunc("mar_rpc_client_loss_rate", func() float64 {
+		if conn := c.sess.Conn(); conn != nil {
+			return conn.LossRate()
+		}
+		return 0
+	}, labels...)
 }
 
 // BreakerOpen reports whether the circuit breaker is currently rejecting

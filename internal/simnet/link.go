@@ -122,6 +122,11 @@ func (l *Link) SetLoss(p float64) { l.lossP = p }
 // Loss returns the current random loss probability.
 func (l *Link) Loss() float64 { return l.lossP }
 
+// SetFilter installs (or, with nil, removes) an external per-packet fault
+// process on a live link. Scenarios use this to switch burst-loss regimes
+// on and off mid-run; packets already past serialization are unaffected.
+func (l *Link) SetFilter(f PacketFilter) { l.filter = f }
+
 // Queue exposes the attached queue (for measurement).
 func (l *Link) Queue() Queue { return l.queue }
 

@@ -282,6 +282,13 @@ type Conn struct {
 	BatchFrames  int64 // frames sent inside multi-frame writes
 	AckedRTT     time.Duration
 	AuthFailures int64
+	LostFrames   int64 // transmissions declared lost (gap, nack or sweep)
+
+	// Smoothed per-transmission loss rate: every delivery confirmation
+	// contributes a 0 sample, every loss declaration a 1. This is the
+	// measured-loss input the §VI-C FEC sizing rule consumes.
+	lossRate  float64
+	lossKnown bool
 }
 
 // Dial connects to a server and starts the protocol machinery.
@@ -520,6 +527,22 @@ func (c *Conn) SRTT() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ctrl.SRTT()
+}
+
+// LossRate reports the smoothed per-transmission loss rate in [0,1]
+// (zero before any delivery verdict). Together with SRTT it is the wire
+// signal pair the adaptive degradation controller consumes.
+func (c *Conn) LossRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lossRate
+}
+
+// LostFrameCount reports how many transmissions were declared lost.
+func (c *Conn) LostFrameCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.LostFrames
 }
 
 // Close stops all timers and closes the transport.
@@ -1019,6 +1042,7 @@ func (c *Conn) onAckLocked(hdr Header) {
 		return
 	}
 	if pp, ok := st.outstanding[hdr.Seq]; ok {
+		c.lossSampleLocked(0)
 		c.removePendingLocked(st, hdr.Seq, pp)
 	}
 	if hdr.Seq > st.maxAcked {
@@ -1068,7 +1092,24 @@ func (c *Conn) lossEligibleLocked(pp *wpending) bool {
 	return c.clock.Since(pp.lastSent) >= guard
 }
 
+// lossEWMAGain smooths the per-transmission loss indicator; 1/16 rides
+// out single bursts while still tracking a Gilbert–Elliott bad state
+// within a handful of frames.
+const lossEWMAGain = 1.0 / 16
+
+// lossSampleLocked folds one delivery verdict (0 delivered, 1 lost) into
+// the smoothed loss rate.
+func (c *Conn) lossSampleLocked(lost float64) {
+	if !c.lossKnown {
+		c.lossRate, c.lossKnown = lost, true
+		return
+	}
+	c.lossRate += lossEWMAGain * (lost - c.lossRate)
+}
+
 func (c *Conn) onLostLocked(st *wstream, seq int64, pp *wpending) {
+	c.lossSampleLocked(1)
+	c.LostFrames++
 	c.ctrl.OnLoss(c.now(), !st.spec.Priority.Discardable())
 	if pp.class == core.ClassLossRecovery {
 		affordable := pp.deadline.IsZero() ||
@@ -1229,6 +1270,8 @@ func (c *Conn) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
 		return float64(f) / float64(w)
 	}, labels...)
 	reg.GaugeFunc("mar_wire_srtt_seconds", func() float64 { return c.SRTT().Seconds() }, labels...)
+	reg.GaugeFunc("mar_wire_loss_rate", c.LossRate, labels...)
+	reg.CounterFunc("mar_wire_frames_lost_total", c.LostFrameCount, labels...)
 	reg.GaugeFunc("mar_wire_budget_bps", c.Budget, labels...)
 
 	c.mu.Lock()

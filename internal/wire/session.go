@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"marnet/internal/obs"
 	"marnet/internal/vclock"
 )
 
@@ -284,6 +285,43 @@ func (s *Session) Stats(streamID uint16) StreamStats {
 	conn := s.conn
 	s.mu.Unlock()
 	return conn.Stats(streamID)
+}
+
+// SRTT reports the current connection's smoothed round-trip estimate.
+// Counter-like stats restart after a resumption, but SRTT re-converges
+// within a few exchanges, so it stays a usable controller signal across
+// outages.
+func (s *Session) SRTT() time.Duration {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	return conn.SRTT()
+}
+
+// LossRate reports the current connection's smoothed per-transmission
+// loss rate in [0,1].
+func (s *Session) LossRate() float64 {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	return conn.LossRate()
+}
+
+// PublishMetrics exposes the session's controller signals on an obs
+// registry as read-through gauges that always follow the *current*
+// connection — unlike Conn.PublishMetrics, whose closures go stale when
+// the session resumes onto a fresh connection:
+//
+//	mar_wire_session_srtt_seconds     smoothed RTT
+//	mar_wire_session_loss_rate        smoothed per-transmission loss rate
+//	mar_wire_session_reconnects_total resumption count
+func (s *Session) PublishMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("mar_wire_session_srtt_seconds", func() float64 { return s.SRTT().Seconds() }, labels...)
+	reg.GaugeFunc("mar_wire_session_loss_rate", s.LossRate, labels...)
+	reg.CounterFunc("mar_wire_session_reconnects_total", s.Reconnects, labels...)
 }
 
 // Reconnects reports how many times the session resumed.
