@@ -4,7 +4,7 @@ GO ?= go
 # race-clean; the rest of the tree is a single-threaded simulator. marsim
 # rides along: its scenarios are single-threaded by design, and -race
 # proves the hosted stack shares no state with leaked goroutines.
-RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/... ./internal/obs/... ./internal/marsim/... ./internal/adapt/... ./internal/offload/...
+RACE_PKGS = ./internal/wire/... ./internal/rpc/... ./internal/faults/... ./internal/overload/... ./internal/obs/... ./internal/marsim/... ./internal/adapt/... ./internal/offload/... ./internal/core/... ./internal/fec/...
 
 # Per-fuzzer budget for the smoke pass wired into ci.
 FUZZTIME ?= 10s
@@ -31,7 +31,7 @@ race:
 # matrix, the virtual-clock scenario acceptance runs, and the 10-minute
 # time-compressed soak smoke, race-checked.
 sim:
-	$(GO) test -race -run 'TestDeterminismMatrix|TestSoakTimeCompression|TestHandoverScenario|TestCongestionScenario|TestPartitionResume|TestBudgetStagesSumToWallTime' -v ./internal/marsim/
+	$(GO) test -race -run 'TestDeterminismMatrix|TestSoakTimeCompression|TestHandoverScenario|TestCongestionScenario|TestPartitionResume|TestBudgetStagesSumToWallTime|TestMultipath' -v ./internal/marsim/
 
 # The full chaos acceptance storm (skipped under -short), race-checked.
 chaos:
@@ -48,7 +48,7 @@ overload:
 # TestDisabledTracingAllocs in the regular test pass.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./internal/obs/ ./internal/queue/ ./internal/wire/
-	$(GO) run ./cmd/marbench -adapt-out /dev/null
+	$(GO) run ./cmd/marbench -adapt-out /dev/null -multipath-out /dev/null
 
 # The wire datapath saturation study on real loopback sockets, recorded as
 # a machine-readable artifact. The packet count is fixed (never derived
@@ -57,8 +57,11 @@ bench-smoke:
 # the ratios (fast path vs legacy, batched vs not) are the tracked result.
 # BENCH_adapt.json is the adaptive-degradation study: fully simulated, so
 # its numbers are deterministic per seed and diff across commits anywhere.
+# BENCH_multipath.json is the multipath robustness head-to-head
+# (single-path vs failover vs multipath+FEC under burst loss and a
+# mid-stream blackhole), equally deterministic per seed.
 bench:
-	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json -adapt-out BENCH_adapt.json
+	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json -adapt-out BENCH_adapt.json -multipath-out BENCH_multipath.json
 
 # Short coverage-guided smoke over the wire-format decoders, the policy
 # header codec, and the Reed-Solomon reconstructor. Go runs one fuzz
@@ -66,6 +69,8 @@ bench:
 fuzz:
 	$(GO) test -fuzz FuzzHeaderDecode -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzNackDecode -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzPathFrameDecode -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzPathReassembler -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzPolicyDecode -fuzztime $(FUZZTIME) ./internal/adapt/
 	$(GO) test -fuzz FuzzReconstruct -fuzztime $(FUZZTIME) ./internal/fec/
 

@@ -2,7 +2,7 @@
 // prints them in the paper's layout. Run with no arguments for everything,
 // or name the experiments to run:
 //
-//	marbench table1 table2 fig2 fig3 fig4 fig5 s3b s4a s4c s4d s6c s6d s6f s6h overload budget wire adapt
+//	marbench table1 table2 fig2 fig3 fig4 fig5 s3b s4a s4c s4d s6c s6d s6f s6h overload budget wire adapt multipath
 package main
 
 import (
@@ -22,11 +22,12 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figure series as CSV files into this directory")
 	benchOut := flag.String("bench-out", "", "write the wire bench result as JSON to this file (runs the wire experiment)")
 	adaptOut := flag.String("adapt-out", "", "write the adaptive-degradation study as JSON to this file (runs the adapt experiment)")
+	multipathOut := flag.String("multipath-out", "", "write the multipath robustness study as JSON to this file (runs the multipath experiment)")
 	flag.Parse()
 	// With only artifact flags and no named experiments, run only those
 	// benches: the CI bench target wants the JSON artifacts, not the full
 	// paper suite.
-	if (*benchOut == "" && *adaptOut == "") || flag.NArg() > 0 {
+	if (*benchOut == "" && *adaptOut == "" && *multipathOut == "") || flag.NArg() > 0 {
 		if err := run(flag.Args(), *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "marbench:", err)
 			os.Exit(1)
@@ -50,6 +51,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *multipathOut != "" {
+		if err := writeMultipath(*multipathOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "marbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMultipath runs the multipath robustness study and records it as
+// machine-readable JSON (the BENCH_multipath.json artifact `make bench`
+// tracks). Fully simulated: the artifact is a function of the seed alone.
+func writeMultipath(path string, seed int64) error {
+	res := experiments.Multipath(seed)
+	fmt.Println(res.Format())
+	if res.Err != "" {
+		return fmt.Errorf("multipath study: %s", res.Err)
+	}
+	if !res.ZeroResets || !res.CutoverWithinKeepalive || !res.RepairsWithoutRetx || !res.Deterministic {
+		return fmt.Errorf("multipath study failed acceptance: zeroResets=%v cutover=%v repairs=%v deterministic=%v",
+			res.ZeroResets, res.CutoverWithinKeepalive, res.RepairsWithoutRetx, res.Deterministic)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeAdapt runs the adaptive-degradation study and records it as
@@ -153,6 +184,7 @@ func run(args []string, seed int64) error {
 		{"budget", func(s int64) string { return experiments.Budget(s).Format() }},
 		{"wire", func(s int64) string { return experiments.WireBench(s).Format() }},
 		{"adapt", func(s int64) string { return experiments.Adapt(s).Format() }},
+		{"multipath", func(s int64) string { return experiments.Multipath(s).Format() }},
 	}
 	want := make(map[string]bool, len(args))
 	for _, a := range args {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"marnet/internal/simnet"
+	"marnet/internal/vclock"
 )
 
 // Path is one usable network path (e.g. the WiFi uplink or the LTE uplink).
@@ -95,6 +96,14 @@ const (
 )
 
 // Multipath schedules packets over a set of paths.
+//
+// Multipath is the model-layer scheduler driven by an explicit `now`
+// (simnet virtual time); the production transport equivalent is
+// wire.PathSet, which adds probing, cross-path FEC and sub-RTT failover
+// on real sockets. Callers without a simnet Sim bind a vclock.Clock via
+// BindClock and use the *Now variants, so DownAfter detection reads
+// injected time — never the wall clock — and stays deterministic under
+// simulation.
 type Multipath struct {
 	// Paths in preference order (most preferred first).
 	Paths []*Path
@@ -108,12 +117,52 @@ type Multipath struct {
 	DownAfter time.Duration
 
 	lastProbe time.Duration
+
+	// clock/epoch back the *Now convenience variants; nil until BindClock
+	// (or the first *Now call, which lazily binds the system clock).
+	clock vclock.Clock
+	epoch time.Time
 }
 
 // NewMultipath builds a scheduler over the given paths with failover
 // policy.
 func NewMultipath(paths ...*Path) *Multipath {
 	return &Multipath{Paths: paths, Policy: PolicyFailover, DownAfter: 500 * time.Millisecond}
+}
+
+// BindClock injects the time source for the *Now variants. The scheduler
+// reads `now` as the elapsed time since binding, so under a virtual
+// clock path-down detection advances exactly with the simulation and a
+// given timeline always produces the same availability verdicts.
+func (m *Multipath) BindClock(c vclock.Clock) {
+	m.clock = vclock.OrSystem(c)
+	m.epoch = m.clock.Now()
+}
+
+// clockNow derives the scheduler timeline from the bound clock, binding
+// the system clock on first use so legacy callers keep working.
+func (m *Multipath) clockNow() time.Duration {
+	if m.clock == nil {
+		m.BindClock(nil)
+	}
+	return m.clock.Since(m.epoch)
+}
+
+// PickNow is Pick driven by the bound clock.
+func (m *Multipath) PickNow(prio Priority, class Class, size int) []*Path {
+	return m.Pick(m.clockNow(), prio, class, size)
+}
+
+// AvailableNow reports the usable paths at the bound clock's current
+// time, in preference order.
+func (m *Multipath) AvailableNow() []*Path {
+	return m.available(m.clockNow())
+}
+
+// AckNow records an ack for p at the bound clock's current time,
+// refreshing its liveness and RTT estimate.
+func (m *Multipath) AckNow(p *Path, rtt time.Duration) {
+	p.onAck(m.clockNow(), rtt)
 }
 
 // available returns the usable paths in preference order.

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"marnet/internal/vclock"
+)
+
+// fakeClock is a hand-driven vclock.Clock for deterministic scheduler
+// timelines (no timers needed here: Multipath is poll-driven).
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(5_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+func (c *fakeClock) AfterFunc(d time.Duration, fn func()) vclock.Timer {
+	panic("multipath never arms timers")
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestMultipathClockInjectedDownDetection pins DownAfter detection to an
+// injected clock: the same virtual timeline must produce the same
+// availability verdicts, with no dependence on the wall clock.
+func TestMultipathClockInjectedDownDetection(t *testing.T) {
+	clock := newFakeClock()
+	wifi := &Path{ID: 1}
+	lte := &Path{ID: 2}
+	m := NewMultipath(wifi, lte)
+	m.DownAfter = 100 * time.Millisecond
+	m.BindClock(clock)
+
+	// Both paths acked recently: failover policy prefers wifi. (Advance
+	// off t=0 first: lastAck==0 means "never acked" by convention.)
+	clock.advance(1 * time.Millisecond)
+	m.AckNow(wifi, 10*time.Millisecond)
+	m.AckNow(lte, 40*time.Millisecond)
+	got := m.PickNow(PrioNoDelay, ClassFullBestEffort, 1000)
+	if len(got) != 1 || got[0] != wifi {
+		t.Fatalf("want wifi preferred, got %v", got)
+	}
+
+	// Wifi goes silent with data outstanding. Advance virtual time just
+	// short of DownAfter: still available.
+	wifi.outstanding = 3
+	clock.advance(99 * time.Millisecond)
+	if paths := m.AvailableNow(); len(paths) != 2 {
+		t.Fatalf("at +99ms want both paths available, got %d", len(paths))
+	}
+	// One more millisecond crosses the threshold — deterministically.
+	clock.advance(1 * time.Millisecond)
+	paths := m.AvailableNow()
+	if len(paths) != 1 || paths[0] != lte {
+		t.Fatalf("at +100ms want only lte, got %v", paths)
+	}
+	got = m.PickNow(PrioNoDelay, ClassFullBestEffort, 1000)
+	if len(got) != 1 || got[0] != lte {
+		t.Fatalf("after silence want lte, got %v", got)
+	}
+
+	// An ack at virtual time revives wifi instantly.
+	m.AckNow(wifi, 12*time.Millisecond)
+	if paths := m.AvailableNow(); len(paths) != 2 {
+		t.Fatalf("after revival want both paths, got %d", len(paths))
+	}
+
+	// Critical traffic pins to the lowest-SRTT live path under the same
+	// injected timeline.
+	got = m.PickNow(PrioHighest, ClassCritical, 200)
+	if len(got) != 1 || got[0] != wifi {
+		t.Fatalf("critical should pin to wifi (lowest SRTT), got %v", got)
+	}
+}
+
+// TestMultipathNowLazyBinding covers the legacy path: without BindClock
+// the *Now variants bind the system clock on first use instead of
+// misbehaving.
+func TestMultipathNowLazyBinding(t *testing.T) {
+	wifi := &Path{ID: 1}
+	m := NewMultipath(wifi)
+	if got := m.PickNow(PrioHighest, ClassCritical, 100); len(got) != 1 || got[0] != wifi {
+		t.Fatalf("lazy-bound pick failed: %v", got)
+	}
+	if m.clock == nil {
+		t.Fatal("first *Now call should have bound a clock")
+	}
+}

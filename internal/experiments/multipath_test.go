@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMultipathAcceptance pins the PR's acceptance criterion exactly as
+// the BENCH_multipath.json artifact records it: a mid-stream blackhole
+// of the primary path costs the multipath modes zero session resets and
+// an interactive cutover inside one keepalive interval, cross-path FEC
+// repairs >= 90% of burst-lost frames without end-to-end
+// retransmission, and the same seed reproduces the trace bit-for-bit.
+func TestMultipathAcceptance(t *testing.T) {
+	r := Multipath(42)
+	if r.Err != "" {
+		t.Fatalf("study failed: %s", r.Err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d mode rows, want 3", len(r.Rows))
+	}
+	if !r.ZeroResets {
+		t.Error("a multipath mode reset its session across the blackhole")
+	}
+	if !r.CutoverWithinKeepalive {
+		t.Error("path-down cutover exceeded one keepalive interval")
+	}
+	if !r.RepairsWithoutRetx {
+		t.Errorf("cross-path FEC repair gate failed (rate %.3f)", r.RepairRate)
+	}
+	if !r.FullBeatsSingle {
+		t.Error("full multipath did not strictly beat the single-path baseline")
+	}
+	if !r.FlapZeroResets {
+		t.Error("the path-flap endurance run reset the session or failed calls")
+	}
+	if !r.Deterministic {
+		t.Error("same-seed rerun diverged")
+	}
+	if r.TraceHash == 0 {
+		t.Error("trace hash is zero — scenario trace missing")
+	}
+	// The single-path baseline must show the problem the tentpole fixes.
+	for _, row := range r.Rows {
+		if row.Mode == "single-path" && row.Reconnects < 1 {
+			t.Error("single-path baseline survived without a reset — the comparison is vacuous")
+		}
+	}
+	out := r.Format()
+	for _, want := range []string{"single-path", "failover", "multipath-fec", "deterministic: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"marnet/internal/adapt"
 	"marnet/internal/core"
 	"marnet/internal/faults"
+	"marnet/internal/obs"
 	"marnet/internal/phy"
 	"marnet/internal/rpc"
 	"marnet/internal/simnet"
@@ -69,6 +70,9 @@ const (
 	// still re-registers the world.
 	anchorDeadline = 600 * time.Millisecond
 	adaptCtrlTick  = 100 * time.Millisecond
+	// Tracer span capacity for the budget-attribution feed; sized past one
+	// control tick's worth of chunked calls so reports never starve.
+	adaptBudgetSpans = 256
 
 	fullChunks        = 3
 	fullChunkBytes    = 600
@@ -165,6 +169,44 @@ type adaptRun struct {
 	// Aggregated since the previous control tick.
 	tickFrames, tickMisses, tickRejects, tickDegraded int
 	lastDegraded                                      int64
+	// Budget-report cursor: reports past this count are new this tick.
+	lastBudgetFrames int64
+}
+
+// netShareTick averages the network share of the budget reports that
+// landed since the previous control tick.
+func (r *adaptRun) netShareTick() float64 {
+	bt := r.cl.BudgetTracker()
+	if bt == nil {
+		return 0
+	}
+	frames := bt.Frames()
+	fresh := frames - r.lastBudgetFrames
+	r.lastBudgetFrames = frames
+	if fresh <= 0 {
+		return 0
+	}
+	reports := bt.Reports()
+	if fresh > int64(len(reports)) {
+		fresh = int64(len(reports)) // ring evicted some; use what survives
+	}
+	var share float64
+	n := 0
+	for _, rep := range reports[int64(len(reports))-fresh:] {
+		if rep.Budget <= 0 {
+			continue
+		}
+		// Network time as a fraction of the frame budget (not of the
+		// call's own total): an edge round trip with near-zero compute is
+		// structurally network-dominated, and judging it against its own
+		// total would signal pressure on a perfectly healthy path.
+		share += float64(rep.NetUp+rep.NetDown) / float64(rep.Budget)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return share / float64(n)
 }
 
 func startAdaptRun(s *Scenario, cl *rpc.Client, kind AdaptPolicyKind, cfg adapt.Config, until time.Duration) *adaptRun {
@@ -196,10 +238,12 @@ func (r *adaptRun) ctrlTick() {
 	if r.stopped {
 		return
 	}
-	// NetShare is deliberately left zero here: in deployment it comes from
-	// live obs.BudgetReport stage attribution; deriving it from SRTT would
-	// go stale the moment a degraded mode stops shipping and wedge the
-	// controller at the bottom of the ladder.
+	// NetShare comes from live obs.BudgetReport stage attribution: the
+	// mean (NetUp+NetDown)/Total over the calls that finished since the
+	// previous tick. Deriving it from SRTT instead would go stale the
+	// moment a degraded mode stops shipping and wedge the controller at
+	// the bottom of the ladder; with no new reports this tick it reads 0,
+	// which disables the high-net-share floor rather than fabricating one.
 	sig := adapt.Signals{
 		SRTT:       r.cl.Session().SRTT(),
 		Loss:       r.cl.Session().LossRate(),
@@ -207,6 +251,7 @@ func (r *adaptRun) ctrlTick() {
 		Misses:     r.tickMisses,
 		Rejections: r.tickRejects,
 		Degraded:   r.tickDegraded,
+		NetShare:   r.netShareTick(),
 	}
 	r.tickFrames, r.tickMisses, r.tickRejects, r.tickDegraded = 0, 0, 0, 0
 	r.pol = r.ctrl.Tick(r.s.Sim.Now(), sig)
@@ -425,6 +470,11 @@ func adaptScenario(name string, seed int64, kind AdaptPolicyKind, cfg adapt.Conf
 		Dialer: host.Dialer(serverEp),
 		Seed:   seed + 1,
 		Retry:  rpc.RetryPolicy{Max: 2},
+		// Trace every call (uniformly, for every policy under test) so the
+		// budget tracker attributes each frame's latency across stages;
+		// ctrlTick feeds the measured network share into adapt.Signals.
+		Tracer: obs.NewTracer(adaptBudgetSpans, seed+2),
+		Budget: adaptBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -511,7 +561,7 @@ func RunAdaptGEBurst(seed int64, kind AdaptPolicyKind) (*AdaptResult, error) {
 // moving its long-run mean much.
 func faultsGE(seed int64) simnet.PacketFilter {
 	return faults.NewLinkFilter(faults.DirConfig{GE: &faults.GilbertElliott{
-		PGoodBad: 0.02, PBadGood: 0.3, LossGood: 0, LossBad: 0.6,
+		PGoodBad: 0.025, PBadGood: 0.3, LossGood: 0, LossBad: 0.65,
 	}}, seed+7)
 }
 

@@ -283,6 +283,7 @@ type Conn struct {
 	AckedRTT     time.Duration
 	AuthFailures int64
 	LostFrames   int64 // transmissions declared lost (gap, nack or sweep)
+	Failovers    int64 // frames re-enqueued off a dead path by the path manager
 
 	// Smoothed per-transmission loss rate: every delivery confirmation
 	// contributes a 0 sample, every loss declaration a 1. This is the
@@ -380,6 +381,11 @@ func newConnCommon(pc PacketConn, peer *net.UDPAddr, cfg Config, sl *sealer) *Co
 		nextSend:  now,
 	}
 	c.bw, _ = pc.(BatchWriter)
+	if ps, ok := pc.(*PathSet); ok {
+		// A Conn built directly over a PathSet gets the sub-RTT failover
+		// hook: path-down evacuation re-enqueues in-flight frames here.
+		ps.bindConn(c)
+	}
 	c.paceFn = c.paceFire
 	c.sweepFn = c.sweepFire
 	c.kaFn = c.keepaliveFire
@@ -543,6 +549,41 @@ func (c *Conn) LostFrameCount() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.LostFrames
+}
+
+// FailoverCount reports how many in-flight frames were re-enqueued onto
+// surviving paths after a path manager declared their path dead.
+func (c *Conn) FailoverCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Failovers
+}
+
+// requeueFrames is the path manager's sub-RTT failover hook: each listed
+// frame that is still outstanding and not already queued goes straight
+// back onto its band queue for immediate retransmission on a surviving
+// path. Unlike a loss verdict this charges no retransmit budget and takes
+// no loss sample — the frames were not lost to congestion, their carrier
+// died under them.
+func (c *Conn) requeueFrames(keys []frameKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	for _, k := range keys {
+		st := c.streams[k.stream]
+		if st == nil {
+			continue
+		}
+		pp, ok := st.outstanding[k.seq]
+		if !ok || pp.queued || pp.sending {
+			continue
+		}
+		pp.queued = true
+		c.Failovers++
+		c.enqueueLocked(st, k.seq, pp.payload, pp.pbuf, pp.traceID, pp.spanID)
+	}
 }
 
 // Close stops all timers and closes the transport.

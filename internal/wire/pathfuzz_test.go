@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPathFrameDecode throws arbitrary bytes at the path-layer decoder
+// stack (prefix, then the kind-specific body). Invariants: never panic,
+// classify consistently with IsPathFrame, and every frame that decodes
+// cleanly must survive a re-encode/re-decode round trip unchanged.
+func FuzzPathFrameDecode(f *testing.F) {
+	inner, _ := AppendFrame(nil, Header{Type: TypeData, Stream: 3, Seq: 42}, []byte("pose"))
+	f.Add(AppendPathData(nil, 0xDEADBEEF, 1, 77, 3, inner))
+	f.Add(AppendPathData(nil, 1, 0, 0, 0, nil)) // ungrouped, empty inner
+	f.Add(AppendPathProbe(nil, PathKindProbe, 7, 0,
+		PathProbe{Seq: 9, SendMicro: 123456, SRTTMicro: 4200, IntervalMicro: 50000, State: uint8(PathDegraded)}))
+	f.Add(AppendPathProbe(nil, PathKindProbeAck, 7, 1, PathProbe{Seq: ^uint32(0), SendMicro: ^uint64(0)}))
+	f.Add(AppendPathParity(nil, 99, 1,
+		PathParityHeader{Group: 5, Index: 4, K: 4, M: 2, Actual: 3, ShardLen: 64},
+		bytes.Repeat([]byte{0xAB}, 64)))
+	f.Add(AppendPathParity(nil, 1, 0,
+		PathParityHeader{Group: 1, Index: 2, K: 2, M: 14, Actual: 2, ShardLen: 2},
+		[]byte{0, 0}))
+	// Edge shapes: empty, bare prefix, truncated bodies, wrong magic,
+	// unknown kind, group-0 parity (reserved), shard length lying.
+	f.Add([]byte{})
+	f.Add(AppendPathData(nil, 1, 0, 0, 0, nil)[:PathPrefixLen])
+	f.Add(AppendPathProbe(nil, PathKindProbe, 1, 0, PathProbe{})[:PathPrefixLen+10])
+	f.Add(func() []byte {
+		b := AppendPathData(nil, 1, 0, 1, 0, inner)
+		b[0] = 0x7B // ARTP magic low byte: no longer a path frame
+		return b
+	}())
+	f.Add(func() []byte {
+		b := AppendPathData(nil, 1, 0, 1, 0, inner)
+		b[3] = 200 // unknown kind
+		return b
+	}())
+	f.Add(func() []byte {
+		b := AppendPathParity(nil, 1, 0,
+			PathParityHeader{Group: 0, Index: 4, K: 4, M: 2, ShardLen: 8}, make([]byte, 8))
+		return b
+	}())
+	f.Add(func() []byte {
+		b := AppendPathParity(nil, 1, 0,
+			PathParityHeader{Group: 3, Index: 4, K: 4, M: 2, ShardLen: 500}, make([]byte, 8))
+		return b
+	}())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, body, err := DecodePathHeader(data)
+		if err != nil {
+			return
+		}
+		if !IsPathFrame(data) {
+			t.Fatal("DecodePathHeader accepted what IsPathFrame rejects")
+		}
+		switch hdr.Kind {
+		case PathKindData:
+			group, index, in, derr := DecodePathData(body)
+			if derr != nil {
+				return
+			}
+			reenc := AppendPathData(nil, hdr.Session, hdr.PathID, group, index, in)
+			if !bytes.Equal(reenc, data) {
+				t.Fatalf("data round trip changed bytes:\n%x\n%x", data, reenc)
+			}
+		case PathKindProbe, PathKindProbeAck:
+			p, derr := DecodePathProbe(body)
+			if derr != nil {
+				return
+			}
+			reenc := AppendPathProbe(nil, hdr.Kind, hdr.Session, hdr.PathID, p)
+			// The probe body is fixed-length; trailing garbage is ignored
+			// by the decoder, so compare only the canonical bytes.
+			if !bytes.Equal(reenc, data[:len(reenc)]) {
+				t.Fatalf("probe round trip changed bytes:\n%x\n%x", data, reenc)
+			}
+			p2, derr := DecodePathProbe(reenc[PathPrefixLen:])
+			if derr != nil || p2 != p {
+				t.Fatalf("probe re-decode mismatch: %v %+v %+v", derr, p, p2)
+			}
+		case PathKindParity:
+			ph, shard, derr := DecodePathParity(body)
+			if derr != nil {
+				return
+			}
+			if int(ph.ShardLen) != len(shard) {
+				t.Fatalf("declared shard %d, returned %d", ph.ShardLen, len(shard))
+			}
+			reenc := AppendPathParity(nil, hdr.Session, hdr.PathID, ph, shard)
+			if !bytes.Equal(reenc, data) {
+				t.Fatalf("parity round trip changed bytes:\n%x\n%x", data, reenc)
+			}
+		}
+	})
+}
+
+// FuzzPathReassembler drives the receive-side FEC state machine with
+// adversarial shard sequences: arbitrary group ids, indexes, geometry
+// and shard contents must never panic, never produce an inner frame
+// longer than a shard, and keep the repair accounting non-negative.
+func FuzzPathReassembler(f *testing.F) {
+	// Seeds: a clean repair sequence and a few degenerate shapes, encoded
+	// as a flat byte script (op, args...) interpreted below.
+	f.Add([]byte{0, 1, 0, 8, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 1, 2, 2, 1, 2, 8, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 2, 1, 4, 9, 9, 9, 9, 1, 2, 2, 2, 1, 2, 6, 1, 1, 1, 1, 1, 1})
+	f.Add(bytes.Repeat([]byte{0, 1, 1, 1, 0xFF}, 40)) // hammer one group
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		rx := newFECReassembler()
+		for len(script) >= 4 {
+			op := script[0]
+			group := uint32(script[1])
+			index := script[2]
+			n := int(script[3])
+			script = script[4:]
+			if n > len(script) {
+				n = len(script)
+			}
+			blob := script[:n]
+			script = script[n:]
+			switch op % 2 {
+			case 0:
+				for _, out := range rx.onData(group, index, blob) {
+					if len(out) > len(blob)+maxFrameLen {
+						t.Fatal("recovered frame implausibly long")
+					}
+				}
+			case 1:
+				if n < 2 {
+					continue
+				}
+				hdr := PathParityHeader{
+					Group:    group,
+					Index:    index,
+					K:        1 + blob[0]%8,
+					M:        1 + blob[1]%4,
+					Actual:   blob[0] % 9,
+					ShardLen: uint16(n),
+				}
+				for _, out := range rx.onParity(hdr, blob) {
+					if len(out) > int(hdr.ShardLen) {
+						t.Fatal("recovered frame longer than shard")
+					}
+				}
+			}
+		}
+		rx.drain()
+		if rx.Repaired < 0 || rx.Unrepaired < 0 {
+			t.Fatalf("negative accounting: %d %d", rx.Repaired, rx.Unrepaired)
+		}
+	})
+}
