@@ -48,7 +48,7 @@ overload:
 # TestDisabledTracingAllocs in the regular test pass.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./internal/obs/ ./internal/queue/ ./internal/wire/
-	$(GO) run ./cmd/marbench -adapt-out /dev/null -multipath-out /dev/null
+	$(GO) run ./cmd/marbench -adapt-out /dev/null -multipath-out /dev/null -obs-out /dev/null
 
 # The wire datapath saturation study on real loopback sockets, recorded as
 # a machine-readable artifact. The packet count is fixed (never derived
@@ -60,12 +60,16 @@ bench-smoke:
 # BENCH_multipath.json is the multipath robustness head-to-head
 # (single-path vs failover vs multipath+FEC under burst loss and a
 # mid-stream blackhole), equally deterministic per seed.
+# BENCH_obs.json is the observability overhead study; marbench fails the
+# run if the flight recorder costs allocations, measurable disabled-path
+# time, or more than 2% on the wire fast path.
 bench:
-	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json -adapt-out BENCH_adapt.json -multipath-out BENCH_multipath.json
+	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json -adapt-out BENCH_adapt.json -multipath-out BENCH_multipath.json -obs-out BENCH_obs.json
 
 # Short coverage-guided smoke over the wire-format decoders, the policy
-# header codec, and the Reed-Solomon reconstructor. Go runs one fuzz
-# target per invocation, so each gets its own budget.
+# header codec, the Reed-Solomon reconstructor, and the flight-recorder
+# snapshot codec. Go runs one fuzz target per invocation, so each gets
+# its own budget.
 fuzz:
 	$(GO) test -fuzz FuzzHeaderDecode -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzNackDecode -fuzztime $(FUZZTIME) ./internal/wire/
@@ -73,6 +77,7 @@ fuzz:
 	$(GO) test -fuzz FuzzPathReassembler -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzPolicyDecode -fuzztime $(FUZZTIME) ./internal/adapt/
 	$(GO) test -fuzz FuzzReconstruct -fuzztime $(FUZZTIME) ./internal/fec/
+	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/obs/
 
 clean:
 	$(GO) clean ./...

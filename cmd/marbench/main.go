@@ -23,11 +23,12 @@ func main() {
 	benchOut := flag.String("bench-out", "", "write the wire bench result as JSON to this file (runs the wire experiment)")
 	adaptOut := flag.String("adapt-out", "", "write the adaptive-degradation study as JSON to this file (runs the adapt experiment)")
 	multipathOut := flag.String("multipath-out", "", "write the multipath robustness study as JSON to this file (runs the multipath experiment)")
+	obsOut := flag.String("obs-out", "", "write the observability overhead study as JSON to this file (runs the obsload experiment)")
 	flag.Parse()
 	// With only artifact flags and no named experiments, run only those
 	// benches: the CI bench target wants the JSON artifacts, not the full
 	// paper suite.
-	if (*benchOut == "" && *adaptOut == "" && *multipathOut == "") || flag.NArg() > 0 {
+	if (*benchOut == "" && *adaptOut == "" && *multipathOut == "" && *obsOut == "") || flag.NArg() > 0 {
 		if err := run(flag.Args(), *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "marbench:", err)
 			os.Exit(1)
@@ -57,6 +58,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *obsOut != "" {
+		if err := writeObs(*obsOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "marbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeObs runs the observability overhead study and records it as
+// machine-readable JSON (the BENCH_obs.json artifact `make bench`
+// tracks). The acceptance gates — zero allocations per recorded event,
+// a disabled hook that costs nothing measurable, and under 2% tax on the
+// wire send fast path — fail the run loudly.
+func writeObs(path string, seed int64) error {
+	res := experiments.ObsLoad(seed)
+	fmt.Println(res.Format())
+	if res.Err != "" {
+		return fmt.Errorf("obsload study: %s", res.Err)
+	}
+	if !res.Pass() {
+		return fmt.Errorf("obsload study failed acceptance: allocs/event=%.2f disabled=%.2fns wireOverhead=%.2f%% codec=%v deterministic=%v snaps=%d storm=%v slo=%v",
+			res.RecordAllocsPerEvent, res.DisabledNsPerOp, res.Wire.OverheadPct,
+			res.CodecRoundTrip, res.Deterministic, res.FlightSnapshots, res.FlightStormSeen, res.FlightSLOFired)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 // writeMultipath runs the multipath robustness study and records it as
@@ -185,6 +219,7 @@ func run(args []string, seed int64) error {
 		{"wire", func(s int64) string { return experiments.WireBench(s).Format() }},
 		{"adapt", func(s int64) string { return experiments.Adapt(s).Format() }},
 		{"multipath", func(s int64) string { return experiments.Multipath(s).Format() }},
+		{"obsload", func(s int64) string { return experiments.ObsLoad(s).Format() }},
 	}
 	want := make(map[string]bool, len(args))
 	for _, a := range args {

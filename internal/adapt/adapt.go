@@ -155,6 +155,9 @@ type Config struct {
 	// leaving a naive threshold controller. It exists so tests can show
 	// what the guards prevent; do not deploy it.
 	NoHysteresis bool
+	// Recorder, when set, receives an EvAdaptMove flight-recorder event on
+	// every ladder switch and an EvRetxSwitch on every ARQ/FEC flip.
+	Recorder *obs.FlightRecorder
 }
 
 // netShareHigh: when the network eats this fraction of the frame budget,
@@ -290,6 +293,7 @@ func (c *Controller) Tick(now time.Duration, sig Signals) Policy {
 	// 2. The §VI-C switch: ARQ only while the path can afford a retransmit
 	// inside the budget, with a dead band so SRTT jitter around the bound
 	// does not flap the recovery scheme.
+	prevRetx, prevRetxKnown := c.retx, c.retxKnown
 	if sig.SRTT > 0 {
 		if c.cfg.NoHysteresis {
 			c.retx = sig.SRTT <= c.cfg.RetxRTT
@@ -305,9 +309,25 @@ func (c *Controller) Tick(now time.Duration, sig Signals) Policy {
 		}
 		c.retxKnown = true
 	}
+	if prevRetxKnown && c.retx != prevRetx {
+		var on uint8
+		if c.retx {
+			on = 1
+		}
+		c.cfg.Recorder.Record(obs.EvRetxSwitch, on, 0, uint32(c.ticks), uint64(sig.SRTT.Microseconds()))
+	}
 
 	// 3. Walk the ladder.
+	prevMode := c.mode
 	switched, probe := c.stepModeLocked(now, sig, instant)
+	if switched {
+		var pr uint8
+		if probe {
+			pr = 1
+		}
+		c.cfg.Recorder.Record(obs.EvAdaptMove, pr,
+			uint16(prevMode)<<8|uint16(c.mode), uint32(c.ticks), uint64(c.miss*1e6))
+	}
 
 	// 4. Assemble the policy. Under FEC, size the code for the measured
 	// loss; at least one repair shard — if ARQ is unaffordable, an

@@ -30,6 +30,26 @@ const (
 // stageOrder fixes iteration/printing order.
 var stageOrder = [...]string{StageQueue, StageCompute, StageNetUp, StageNetDown, StageSerialize, StageOverhead}
 
+// StageIndex maps a budget stage name to its canonical ordinal (the
+// compact encoding flight-recorder events use); unknown names map to
+// len(stageOrder). StageName is the inverse.
+func StageIndex(name string) int {
+	for i, s := range stageOrder {
+		if s == name {
+			return i
+		}
+	}
+	return len(stageOrder)
+}
+
+// StageName returns the stage at ordinal i ("" when out of range).
+func StageName(i int) string {
+	if i < 0 || i >= len(stageOrder) {
+		return ""
+	}
+	return stageOrder[i]
+}
+
 // BudgetReport attributes one frame's end-to-end latency to the pipeline
 // stages of the 75 ms budget. By construction the stages sum exactly to
 // Total: Queue and Compute are measured by the server (monotonic

@@ -35,80 +35,94 @@ func fmtValue(v float64) string {
 	return fmt.Sprintf("%g", v)
 }
 
-// WritePrometheus renders every registry in Prometheus text exposition
-// format. Histograms export as summaries: p50/p95/p99 quantile samples
-// plus _sum, _count and _max series.
-func WritePrometheus(w io.Writer, regs ...*Registry) error {
-	typed := make(map[string]bool)
+// gatherSorted merges every registry's points and orders them by metric
+// name, then label identity. Registration order depends on which
+// goroutine touched an instrument first, so exporting in it would make
+// two scrapes of identical state differ byte-for-byte; sorting here makes
+// the exposition deterministic (diffs between scrapes are real changes)
+// and groups each family under a single TYPE line.
+func gatherSorted(regs []*Registry) []Point {
+	var pts []Point
 	for _, reg := range regs {
 		if reg == nil {
 			continue
 		}
-		for _, p := range reg.Gather() {
-			if !typed[p.Name] {
-				typed[p.Name] = true
-				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
-					return err
-				}
-			}
-			if p.Kind == KindHistogram {
-				s := p.Hist
-				for _, q := range [...]struct {
-					q float64
-					s string
-				}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
-					if _, err := fmt.Fprintf(w, "%s%s %d\n", p.Name,
-						promLabels(p.Labels, L("quantile", q.s)), s.Quantile(q.q)); err != nil {
-						return err
-					}
-				}
-				if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n%s_max%s %d\n",
-					p.Name, promLabels(p.Labels), s.Sum,
-					p.Name, promLabels(p.Labels), s.Count,
-					p.Name, promLabels(p.Labels), s.Max); err != nil {
-					return err
-				}
-				continue
-			}
-			if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels), fmtValue(p.Value)); err != nil {
+		pts = append(pts, reg.Gather()...)
+	}
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Name != pts[j].Name {
+			return pts[i].Name < pts[j].Name
+		}
+		return key(pts[i].Name, pts[i].Labels) < key(pts[j].Name, pts[j].Labels)
+	})
+	return pts
+}
+
+// WritePrometheus renders every registry in Prometheus text exposition
+// format, families and label sets in sorted order so identical state
+// always produces byte-identical output. Histograms export as summaries:
+// p50/p95/p99 quantile samples plus _sum, _count and _max series.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	typed := make(map[string]bool)
+	for _, p := range gatherSorted(regs) {
+		if !typed[p.Name] {
+			typed[p.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
 				return err
 			}
+		}
+		if p.Kind == KindHistogram {
+			s := p.Hist
+			for _, q := range [...]struct {
+				q float64
+				s string
+			}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", p.Name,
+					promLabels(p.Labels, L("quantile", q.s)), s.Quantile(q.q)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n%s_max%s %d\n",
+				p.Name, promLabels(p.Labels), s.Sum,
+				p.Name, promLabels(p.Labels), s.Count,
+				p.Name, promLabels(p.Labels), s.Max); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels), fmtValue(p.Value)); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// WriteExpvar renders every registry as a flat expvar-style JSON object:
-// "name{k=v}" keys mapping to numbers, histograms to
-// {count,sum,max,p50,p95,p99} objects.
+// WriteExpvar renders every registry as a flat expvar-style JSON object
+// in the same sorted order as WritePrometheus: "name{k=v}" keys mapping
+// to numbers, histograms to {count,sum,max,p50,p95,p99} objects.
 func WriteExpvar(w io.Writer, regs ...*Registry) error {
 	if _, err := fmt.Fprint(w, "{"); err != nil {
 		return err
 	}
 	first := true
-	for _, reg := range regs {
-		if reg == nil {
-			continue
-		}
-		for _, p := range reg.Gather() {
-			if !first {
-				if _, err := fmt.Fprint(w, ",\n"); err != nil {
-					return err
-				}
-			}
-			first = false
-			k := key(p.Name, p.Labels)
-			if p.Kind == KindHistogram {
-				s := p.Hist
-				if _, err := fmt.Fprintf(w, "%q: {\"count\": %d, \"sum\": %d, \"max\": %d, \"p50\": %d, \"p95\": %d, \"p99\": %d}",
-					k, s.Count, s.Sum, s.Max, s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)); err != nil {
-					return err
-				}
-				continue
-			}
-			if _, err := fmt.Fprintf(w, "%q: %s", k, fmtValue(p.Value)); err != nil {
+	for _, p := range gatherSorted(regs) {
+		if !first {
+			if _, err := fmt.Fprint(w, ",\n"); err != nil {
 				return err
 			}
+		}
+		first = false
+		k := key(p.Name, p.Labels)
+		if p.Kind == KindHistogram {
+			s := p.Hist
+			if _, err := fmt.Fprintf(w, "%q: {\"count\": %d, \"sum\": %d, \"max\": %d, \"p50\": %d, \"p95\": %d, \"p99\": %d}",
+				k, s.Count, s.Sum, s.Max, s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%q: %s", k, fmtValue(p.Value)); err != nil {
+			return err
 		}
 	}
 	_, err := fmt.Fprint(w, "}\n")

@@ -37,6 +37,88 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// Two registries holding identical state registered in opposite orders
+// must scrape byte-identically — and a rescrape of unchanged state must
+// reproduce the exact bytes. CI depends on this: scrape diffs mean state
+// diffs.
+func TestWritePrometheusDeterministicAcrossRegistrationOrder(t *testing.T) {
+	build := func(reverse bool) *Registry {
+		r := NewRegistry()
+		ops := []func(){
+			func() { r.Counter("zz_total", L("s", "b")).Add(2) },
+			func() { r.Counter("zz_total", L("s", "a")).Add(1) },
+			func() { r.Gauge("mid_depth").Set(3.5) },
+			func() { r.Counter("aa_total").Add(7) },
+			func() { r.Histogram("lat_ns", L("leg", "x")).Observe(100) },
+		}
+		if reverse {
+			for i := len(ops) - 1; i >= 0; i-- {
+				ops[i]()
+			}
+		} else {
+			for _, op := range ops {
+				op()
+			}
+		}
+		return r
+	}
+	scrape := func(r *Registry) string {
+		var sb strings.Builder
+		if err := WritePrometheus(&sb, r); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	fwd, rev := build(false), build(true)
+	a, b := scrape(fwd), scrape(rev)
+	if a != b {
+		t.Fatalf("registration order leaked into the scrape:\n--- forward\n%s--- reverse\n%s", a, b)
+	}
+	if again := scrape(fwd); again != a {
+		t.Fatalf("rescrape of unchanged state differs:\n--- first\n%s--- second\n%s", a, again)
+	}
+	// Sorted exposition means each family appears exactly once as a TYPE
+	// line, with names in lexicographic order.
+	var typeLines []string
+	for _, line := range strings.Split(a, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typeLines = append(typeLines, line)
+		}
+	}
+	want := []string{
+		"# TYPE aa_total counter",
+		"# TYPE lat_ns summary",
+		"# TYPE mid_depth gauge",
+		"# TYPE zz_total counter",
+	}
+	if len(typeLines) != len(want) {
+		t.Fatalf("TYPE lines = %v, want %v", typeLines, want)
+	}
+	for i := range want {
+		if typeLines[i] != want[i] {
+			t.Errorf("TYPE line %d = %q, want %q", i, typeLines[i], want[i])
+		}
+	}
+}
+
+func TestWriteExpvarDeterministicAcrossRegistrationOrder(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x_total", L("k", "1")).Inc()
+	a.Counter("x_total", L("k", "2")).Inc()
+	b.Counter("x_total", L("k", "2")).Inc()
+	b.Counter("x_total", L("k", "1")).Inc()
+	scrape := func(r *Registry) string {
+		var sb strings.Builder
+		if err := WriteExpvar(&sb, r); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if sa, sb_ := scrape(a), scrape(b); sa != sb_ {
+		t.Fatalf("expvar export depends on registration order:\n%s\nvs\n%s", sa, sb_)
+	}
+}
+
 func TestWriteExpvarIsValidJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a").Inc()

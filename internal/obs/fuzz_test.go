@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzSnapshotDecode hammers the snapshot codec with hostile input. The
+// decoder must never panic or over-allocate, and anything it accepts
+// must round-trip stably: decode → encode → decode reproduces the exact
+// bytes.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Corpus: a real snapshot, an empty one, and a few near-valid
+	// mutations.
+	r := NewFlightRecorder(RecorderConfig{Session: "fuzz", Window: time.Hour})
+	for i := 0; i < 10; i++ {
+		r.Record(EventKind(1+i%int(evKindEnd-1)), uint8(i), uint16(i), uint32(i), uint64(i))
+	}
+	if snap := r.Freeze("seed"); snap != nil {
+		f.Add(snap.Encode())
+	}
+	f.Add((&Snapshot{}).Encode())
+	f.Add([]byte(snapMagic))
+	f.Add([]byte("MFR2\x00\x00"))
+	f.Add(append([]byte(snapMagic), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			if s != nil {
+				t.Fatal("error with non-nil snapshot")
+			}
+			return
+		}
+		enc := s.Encode()
+		s2, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(enc, s2.Encode()) {
+			t.Fatal("accepted input does not round-trip stably")
+		}
+	})
+}

@@ -61,11 +61,70 @@ type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
 	order   []string // insertion order, for stable export
+	// Label-cardinality cap: at fleet scale a per-session label would
+	// otherwise grow the registry without bound. families counts distinct
+	// label sets per metric name; once a family reaches maxSets, further
+	// NEW label sets get detached (unregistered) instruments and the
+	// obs_dropped_labels_total counter ticks. Existing label sets keep
+	// resolving normally, and unlabeled metrics are never capped.
+	maxSets  int
+	families map[string]int
+	dropped  *Counter
 }
+
+// DefaultMaxLabelSets is the per-family label-set cap a fresh registry
+// starts with.
+const DefaultMaxLabelSets = 1024
+
+// droppedLabelsMetric counts label sets refused by the cardinality cap.
+const droppedLabelsMetric = "obs_dropped_labels_total"
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+	return &Registry{
+		entries:  make(map[string]*entry),
+		maxSets:  DefaultMaxLabelSets,
+		families: make(map[string]int),
+	}
+}
+
+// SetMaxLabelSets adjusts the per-family label-set cap (n <= 0 restores
+// the default). Lowering the cap does not evict existing label sets; it
+// only refuses new ones.
+func (r *Registry) SetMaxLabelSets(n int) {
+	if n <= 0 {
+		n = DefaultMaxLabelSets
+	}
+	r.mu.Lock()
+	r.maxSets = n
+	r.mu.Unlock()
+}
+
+// DroppedLabelSets reports how many label sets the cardinality cap has
+// refused.
+func (r *Registry) DroppedLabelSets() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.dropped == nil {
+		return 0
+	}
+	return r.dropped.Value()
+}
+
+// dropLocked accounts one refused label set (registering the drop counter
+// itself on first use — it is unlabeled, so never capped).
+func (r *Registry) dropLocked() {
+	if r.dropped == nil {
+		if e := r.entries[droppedLabelsMetric]; e != nil && e.kind == KindCounter {
+			r.dropped = e.c
+		} else {
+			e := &entry{name: droppedLabelsMetric, kind: KindCounter, c: &Counter{}}
+			r.entries[droppedLabelsMetric] = e
+			r.order = append(r.order, droppedLabelsMetric)
+			r.dropped = e.c
+		}
+	}
+	r.dropped.Inc()
 }
 
 var defaultRegistry = NewRegistry()
@@ -123,6 +182,16 @@ func (r *Registry) get(name string, kind Kind, labels []Label) *entry {
 		e.g = &Gauge{}
 	case KindHistogram:
 		e.h = &Histogram{}
+	}
+	if len(labels) > 0 && r.families[name] >= r.maxSets {
+		// Cardinality cap: hand back a working but unregistered
+		// instrument — writers keep a valid sink, the export stays
+		// bounded, and the drop is visible on obs_dropped_labels_total.
+		r.dropLocked()
+		return e
+	}
+	if len(labels) > 0 {
+		r.families[name]++
 	}
 	r.entries[k] = e
 	r.order = append(r.order, k)

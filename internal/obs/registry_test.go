@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryLabelCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxLabelSets(2)
+
+	a := r.Counter("reqs_total", L("session", "a"))
+	b := r.Counter("reqs_total", L("session", "b"))
+	a.Add(1)
+	b.Add(2)
+	if r.DroppedLabelSets() != 0 {
+		t.Fatalf("cap fired under the limit: dropped=%d", r.DroppedLabelSets())
+	}
+
+	// Third label set: detached but still a working instrument.
+	c := r.Counter("reqs_total", L("session", "c"))
+	c.Add(40)
+	if c.Value() != 40 {
+		t.Fatalf("detached counter value = %d, want 40", c.Value())
+	}
+	if r.DroppedLabelSets() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.DroppedLabelSets())
+	}
+
+	// Existing sets keep resolving to the same instruments.
+	if again := r.Counter("reqs_total", L("session", "a")); again != a {
+		t.Fatal("existing label set no longer resolves to its instrument")
+	}
+	// The refused set stays refused: a fresh detached instrument each time.
+	c2 := r.Counter("reqs_total", L("session", "c"))
+	if c2 == c {
+		t.Fatal("refused label set got registered on retry")
+	}
+	if r.DroppedLabelSets() != 2 {
+		t.Fatalf("dropped = %d after retry, want 2", r.DroppedLabelSets())
+	}
+
+	// Unlabeled metrics are never capped, and other families are
+	// independent.
+	r.Counter("unlabeled_total").Inc()
+	r.Gauge("depth", L("q", "x")).Set(1)
+	r.Gauge("depth", L("q", "y")).Set(2)
+	if r.DroppedLabelSets() != 2 {
+		t.Fatalf("unrelated metrics tripped the cap: dropped=%d", r.DroppedLabelSets())
+	}
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `session="c"`) {
+		t.Errorf("export contains the capped label set:\n%s", out)
+	}
+	for _, want := range []string{
+		`reqs_total{session="a"} 1`,
+		`reqs_total{session="b"} 2`,
+		"obs_dropped_labels_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDropCounterCoexistsWithUserMetric(t *testing.T) {
+	r := NewRegistry()
+	// A user registers the drop-counter name before the cap ever fires:
+	// the cap must reuse that counter, not panic on a kind clash.
+	user := r.Counter(droppedLabelsMetric)
+	r.SetMaxLabelSets(1)
+	r.Counter("f", L("x", "1")).Inc()
+	r.Counter("f", L("x", "2")).Inc()
+	if user.Value() != 1 {
+		t.Fatalf("pre-registered drop counter = %d, want 1", user.Value())
+	}
+	if r.DroppedLabelSets() != 1 {
+		t.Fatalf("DroppedLabelSets = %d, want 1", r.DroppedLabelSets())
+	}
+}

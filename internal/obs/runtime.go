@@ -1,0 +1,226 @@
+package obs
+
+// The runtime surface: Go runtime introspection (goroutines, heap, GC
+// pauses, scheduler latency) published as registry gauges, the standard
+// /debug/pprof handlers attached to the obs mux, and the HTTP dump
+// endpoints for flight-recorder snapshots. Together with /metrics this
+// makes the obs mux the one port to point at a live MAR server to answer
+// "what is it doing and why was frame N late".
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AttachPprof registers the standard runtime profiling handlers
+// (/debug/pprof/, .../cmdline, .../profile, .../symbol, .../trace) on
+// mux. CPU profiles, heap profiles, goroutine dumps and execution traces
+// then come from the same port as /metrics.
+func AttachPprof(mux *http.ServeMux) {
+	if mux == nil {
+		return
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// runtimeSampler caches one runtime/metrics read so a scrape touching
+// several gauges pays for a single Read instead of one per gauge.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	byName  map[string]int
+	readAt  time.Time
+}
+
+// runtimeSampleTTL: gauges read within this window share one sample set.
+// Wall-clock on purpose — the runtime surface describes the real process,
+// never simulated time.
+const runtimeSampleTTL = 100 * time.Millisecond
+
+var runtimeMetricNames = []string{
+	"/sched/latencies:seconds",
+	"/gc/pauses:seconds",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{byName: make(map[string]int, len(runtimeMetricNames))}
+	s.samples = make([]metrics.Sample, len(runtimeMetricNames))
+	for i, n := range runtimeMetricNames {
+		s.samples[i].Name = n
+		s.byName[n] = i
+	}
+	return s
+}
+
+// refreshLocked re-reads the runtime metrics when the cache is stale.
+func (s *runtimeSampler) refreshLocked() {
+	if time.Since(s.readAt) < runtimeSampleTTL {
+		return
+	}
+	metrics.Read(s.samples)
+	s.readAt = time.Now()
+}
+
+// uint64At returns the named metric's uint64 value (0 when unsupported).
+func (s *runtimeSampler) uint64At(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	v := s.samples[s.byName[name]].Value
+	if v.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return v.Uint64()
+}
+
+// quantileAt estimates quantile q of the named float64-histogram metric,
+// in seconds (0 when unsupported or empty).
+func (s *runtimeSampler) quantileAt(name string, q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshLocked()
+	v := s.samples[s.byName[name]].Value
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := v.Float64Histogram()
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1]; use the upper edge
+			// (conservative for tail latency; the first/last buckets can
+			// be infinite, fall back to the finite edge).
+			hi := h.Buckets[i+1]
+			if hi > 1e9 || hi != hi { // +Inf or NaN guard
+				hi = h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// PublishRuntimeMetrics registers Go runtime gauges on the registry:
+// goroutine count, heap bytes (live objects and total reserved), GC
+// cycles, and the p50/p99 of the runtime's GC-pause and scheduler-latency
+// histograms in nanoseconds. Values refresh per scrape (with a 100 ms
+// cache so one scrape is one runtime/metrics read).
+func PublishRuntimeMetrics(reg *Registry, labels ...Label) {
+	if reg == nil {
+		return
+	}
+	s := newRuntimeSampler()
+	reg.GaugeFunc("mar_go_goroutines", func() float64 { return float64(runtime.NumGoroutine()) }, labels...)
+	reg.GaugeFunc("mar_go_heap_live_bytes", func() float64 {
+		return float64(s.uint64At("/memory/classes/heap/objects:bytes"))
+	}, labels...)
+	reg.GaugeFunc("mar_go_mem_total_bytes", func() float64 {
+		return float64(s.uint64At("/memory/classes/total:bytes"))
+	}, labels...)
+	reg.CounterFunc("mar_go_gc_cycles_total", func() int64 {
+		return int64(s.uint64At("/gc/cycles/total:gc-cycles"))
+	}, labels...)
+	for _, m := range []struct {
+		name, metric string
+	}{
+		{"mar_go_gc_pause_ns", "/gc/pauses:seconds"},
+		{"mar_go_sched_latency_ns", "/sched/latencies:seconds"},
+	} {
+		metric := m.metric
+		p50 := append(append([]Label(nil), labels...), L("quantile", "0.5"))
+		p99 := append(append([]Label(nil), labels...), L("quantile", "0.99"))
+		reg.GaugeFunc(m.name, func() float64 { return s.quantileAt(metric, 0.50) * 1e9 }, p50...)
+		reg.GaugeFunc(m.name, func() float64 { return s.quantileAt(metric, 0.99) * 1e9 }, p99...)
+	}
+}
+
+// flightDump is the /debug/flight JSON shape for one recorder.
+type flightDump struct {
+	Session    string      `json:"session"`
+	Recorded   uint64      `json:"recorded"`
+	Suppressed int64       `json:"suppressed"`
+	Snapshots  []*Snapshot `json:"snapshots"`
+	Live       []Event     `json:"live,omitempty"`
+}
+
+// AttachFlightRecorders serves flight-recorder state on mux:
+//
+//	GET /debug/flight            frozen snapshots of every recorder
+//	GET /debug/flight?live=1     additionally the live ring contents
+//	GET /debug/flight?session=S  only the recorder(s) labeled S
+//
+// Recorders are read live on every request; nil recorders are skipped.
+func AttachFlightRecorders(mux *http.ServeMux, frs ...*FlightRecorder) {
+	if mux == nil {
+		return
+	}
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		want := req.URL.Query().Get("session")
+		live := req.URL.Query().Get("live") != ""
+		dumps := make([]flightDump, 0, len(frs))
+		for _, fr := range frs {
+			if fr == nil || (want != "" && fr.Session() != want) {
+				continue
+			}
+			d := flightDump{
+				Session:    fr.Session(),
+				Recorded:   fr.Recorded(),
+				Suppressed: fr.Suppressed(),
+				Snapshots:  fr.Snapshots(),
+			}
+			if d.Snapshots == nil {
+				d.Snapshots = []*Snapshot{}
+			}
+			if live {
+				d.Live = fr.Events()
+			}
+			dumps = append(dumps, d)
+		}
+		sort.Slice(dumps, func(i, j int) bool { return dumps[i].Session < dumps[j].Session })
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(dumps) //nolint:errcheck // client went away
+	})
+}
+
+// NewDebugMux is NewMux plus the deep-diagnosis surface: /debug/pprof/*,
+// /debug/flight, and the runtime gauges registered on the first registry
+// (when one is given). It is the one-call setup for a serving process:
+//
+//	mux := obs.NewDebugMux(health, []*obs.FlightRecorder{rec}, reg)
+//	go http.ListenAndServe(":9090", mux)
+func NewDebugMux(health HealthFunc, recorders []*FlightRecorder, regs ...*Registry) *http.ServeMux {
+	mux := NewMux(health, regs...)
+	AttachPprof(mux)
+	AttachFlightRecorders(mux, recorders...)
+	if len(regs) > 0 && regs[0] != nil {
+		PublishRuntimeMetrics(regs[0])
+	}
+	return mux
+}

@@ -3,6 +3,8 @@ package overload
 import (
 	"sync"
 	"time"
+
+	"marnet/internal/obs"
 )
 
 // Config assembles a Gate.
@@ -28,6 +30,9 @@ type Config struct {
 	// that advances that clock, so drains resolve on virtual time instead
 	// of stalling a wall-clock millisecond per poll.
 	Sleep func(d time.Duration)
+	// Recorder, when set, receives an EvOverloadVerdict flight-recorder
+	// event for every refused request.
+	Recorder *obs.FlightRecorder
 }
 
 // Verdict is the admission decision for one request.
@@ -145,6 +150,16 @@ func NewGate(cfg Config) *Gate {
 	}
 }
 
+// recordVerdict emits one refusal to the flight recorder. Nil-safe and
+// off the admit fast path: only rejections pay for it.
+func (g *Gate) recordVerdict(v Verdict, it *Item) {
+	if g.cfg.Recorder == nil {
+		return
+	}
+	g.cfg.Recorder.Record(obs.EvOverloadVerdict, uint8(v), uint16(it.Method), 0,
+		uint64(g.adm.QueueDelay().Microseconds()))
+}
+
 // Admit decides whether the request may enter the queues, and enqueues it
 // when admitted. Rejections are cheap and immediate: they run before any
 // decode or dispatch work is spent on the request.
@@ -154,6 +169,7 @@ func (g *Gate) Admit(it *Item) Verdict {
 	if g.draining {
 		g.drainRejects++
 		g.mu.Unlock()
+		g.recordVerdict(RejectDraining, it)
 		return RejectDraining
 	}
 	g.mu.Unlock()
@@ -164,6 +180,7 @@ func (g *Gate) Admit(it *Item) Verdict {
 			g.mu.Lock()
 			g.expArrival++
 			g.mu.Unlock()
+			g.recordVerdict(RejectExpired, it)
 			return RejectExpired
 		}
 		// Cannot-finish at admission: predicted wait (the smoothed queue
@@ -177,11 +194,13 @@ func (g *Gate) Admit(it *Item) Verdict {
 				g.mu.Lock()
 				g.cannotFinish++
 				g.mu.Unlock()
+				g.recordVerdict(RejectCannotFinish, it)
 				return RejectCannotFinish
 			}
 		}
 	}
 	if !g.adm.Offer(it) {
+		g.recordVerdict(RejectQueueFull, it)
 		return RejectQueueFull
 	}
 	g.mu.Lock()
@@ -199,6 +218,7 @@ func (g *Gate) Next() (run *Item, rejected []Rejection, ok bool) {
 	for {
 		it, shed, popOK := g.adm.Pop()
 		for _, s := range shed {
+			g.recordVerdict(RejectShed, s)
 			rejected = append(rejected, Rejection{Item: s, Verdict: RejectShed})
 		}
 		if !popOK {
@@ -219,6 +239,7 @@ func (g *Gate) TryNext() (run *Item, rejected []Rejection, ok bool) {
 	for {
 		it, shed, popOK := g.adm.TryPop()
 		for _, s := range shed {
+			g.recordVerdict(RejectShed, s)
 			rejected = append(rejected, Rejection{Item: s, Verdict: RejectShed})
 		}
 		if !popOK {
@@ -241,6 +262,7 @@ func (g *Gate) vet(it *Item, rejected []Rejection) (*Item, []Rejection) {
 			g.mu.Lock()
 			g.expQueue++
 			g.mu.Unlock()
+			g.recordVerdict(RejectExpired, it)
 			return nil, append(rejected, Rejection{Item: it, Verdict: RejectExpired})
 		}
 		if est, estOK := g.est.Estimate(it.Method); estOK {
@@ -248,6 +270,7 @@ func (g *Gate) vet(it *Item, rejected []Rejection) (*Item, []Rejection) {
 				g.mu.Lock()
 				g.cannotFinish++
 				g.mu.Unlock()
+				g.recordVerdict(RejectCannotFinish, it)
 				return nil, append(rejected, Rejection{Item: it, Verdict: RejectCannotFinish})
 			}
 		}
@@ -258,6 +281,7 @@ func (g *Gate) vet(it *Item, rejected []Rejection) (*Item, []Rejection) {
 			g.mu.Lock()
 			g.ladderReject++
 			g.mu.Unlock()
+			g.recordVerdict(RejectShed, it)
 			return nil, append(rejected, Rejection{Item: it, Verdict: RejectShed})
 		default:
 			it.Degrade = tier

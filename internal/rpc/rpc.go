@@ -790,6 +790,15 @@ type ClientConfig struct {
 	// MetricsLabels are attached to every metric the budget tracker
 	// registers on Metrics.
 	MetricsLabels []obs.Label
+	// Recorder, when set, is handed to the wire layer (frame-level events)
+	// and receives an EvBudgetSplit per finished traced call; a call that
+	// blows its budget freezes a snapshot, so the ring around the miss
+	// survives. Give it the same Clock as the client.
+	Recorder *obs.FlightRecorder
+	// SLO, when set alongside Tracer, observes every finished traced
+	// call's deadline verdict — the hit/miss stream the burn-rate engine
+	// evaluates.
+	SLO *obs.SLO
 
 	// Clock injects the client's time source (default the system clock).
 	// Deadlines, retry backoff, hedging, the breaker's windows and the
@@ -842,6 +851,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		Keepalive:     cfg.Keepalive,
 		KeepaliveMiss: cfg.KeepaliveMiss,
 		Clock:         cfg.Clock,
+		Recorder:      cfg.Recorder,
 	}
 	scfg := wire.SessionConfig{
 		RedialMin:     cfg.RedialMin,
@@ -1143,4 +1153,20 @@ func (c *Client) finishCall(span *obs.Span, win attemptInfo, total time.Duration
 	}
 	span.Finish()
 	c.budget.Observe(r)
+	blown := r.Blown()
+	if rec := c.cfg.Recorder; rec != nil {
+		var fl uint8
+		if blown {
+			fl = 1
+		}
+		dom := r.Dominant()
+		rec.Record(obs.EvBudgetSplit, fl, uint16(obs.StageIndex(dom.Name)),
+			uint32(r.Total.Microseconds()), uint64(dom.Dur.Microseconds()))
+		if blown {
+			rec.Freeze("budget-blown")
+		}
+	}
+	// The SLO engine sees every verdict; its burn-rate triggers catch
+	// erosion that no single blown frame would.
+	c.cfg.SLO.Observe(!blown)
 }

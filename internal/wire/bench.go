@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
+
+	"marnet/internal/obs"
 )
 
 // PipelineBenchRow is one measured leg of the wire datapath.
@@ -301,6 +304,168 @@ func recvLeg(name string, batched bool, packets int, payload []byte) (PipelineBe
 	runtime.ReadMemStats(&m1)
 	row := finishRow(name, packets, delivered.Load(), elapsed, m1.Mallocs-m0.Mallocs, len(payload))
 	return row, nil
+}
+
+// RecorderOverheadResult compares the wire send fast path with and
+// without a live flight recorder hooked per frame.
+type RecorderOverheadResult struct {
+	Packets           int     `json:"packets"`
+	Trials            int     `json:"trials"`
+	BaseNsPerOp       float64 `json:"base_ns_per_op"`
+	RecordNsPerOp     float64 `json:"record_ns_per_op"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	RecordAllocsPerOp float64 `json:"record_allocs_per_op"`
+}
+
+// RunRecorderOverheadBench measures what recording one EvFrameSend per
+// packet costs on the send fast path (pooled buffers, in-place seal, one
+// sendto per packet — the same leg BENCH_wire.json calls send-fastpath).
+// Both variants read the clock once per packet, exactly like paceFire,
+// so the delta is the recorder's store alone. The op is ~2.5 µs of
+// mostly sendto, so machine drift and virtualization steal bursts dwarf
+// the tens-of-ns signal when the sides run as coarse trials; instead the
+// two sides are interleaved in small paired blocks — flipping which side
+// leads every pair — and the overhead is the median of the per-pair
+// differences. Pairing cancels drift (both sides sample the same machine
+// state); the median discards the pairs a steal burst lands on.
+func RunRecorderOverheadBench(packets, payloadLen, trials int) (RecorderOverheadResult, error) {
+	if trials < 1 {
+		trials = 3
+	}
+	if payloadLen > maxPlain(true) {
+		return RecorderOverheadResult{}, fmt.Errorf("wire: bench payload %d exceeds sealed max %d", payloadLen, maxPlain(true))
+	}
+	payload := make([]byte, payloadLen)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	src, err := listenLoopback()
+	if err != nil {
+		return RecorderOverheadResult{}, err
+	}
+	dst, err := listenLoopback()
+	if err != nil {
+		src.Close()
+		return RecorderOverheadResult{}, err
+	}
+	u := newUDPPacketConn(src)
+	defer u.Close()
+	defer dst.Close()
+	raddr := dst.LocalAddr().(*net.UDPAddr)
+	sl, err := newSealer(benchKey)
+	if err != nil {
+		return RecorderOverheadResult{}, err
+	}
+
+	// A ring larger than the packet count would distort nothing, but the
+	// realistic deployment wraps; size it like a deployment would.
+	rec := obs.NewFlightRecorder(obs.RecorderConfig{Session: "bench"})
+	hdr := Header{Type: TypeData, Stream: 1, Class: 1, Prio: 1}
+	wireLen := uint64(wireLenSealed(payloadLen))
+	sendOne := func(seq int64, r *obs.FlightRecorder) error {
+		hdr.Seq = seq
+		now := time.Now()
+		// Record before sealing, as paceFire does: frames are sealed at
+		// enqueue time and recorded at pop time, so the record's locked
+		// ops never wait behind a kilobyte of just-written seal output.
+		if r != nil {
+			r.RecordAt(now, obs.EvFrameSend, 0, hdr.Stream, uint32(seq), wireLen)
+		}
+		fb := getFrameBuf()
+		frame, ferr := sl.appendSealedFrame((*fb)[:0], hdr, payload)
+		if ferr != nil {
+			putFrameBuf(fb)
+			return ferr
+		}
+		_, werr := u.WriteToUDP(frame, raddr)
+		putFrameBuf(fb)
+		return werr
+	}
+	// Timed blocks are pure send loops: no GC, no stop-the-world
+	// memstats read inside a measured window.
+	block := func(n int, r *obs.FlightRecorder) (time.Duration, error) {
+		t0 := time.Now()
+		for i := 0; i < n; i++ {
+			if err := sendOne(int64(i), r); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	for i := 0; i < 256; i++ { // warm pools, socket path, recorder ring
+		if err := sendOne(int64(i), rec); err != nil {
+			return RecorderOverheadResult{}, err
+		}
+	}
+
+	// Allocation accounting happens once, outside the timed blocks.
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < packets; i++ {
+		if err := sendOne(int64(i), rec); err != nil {
+			return RecorderOverheadResult{}, err
+		}
+	}
+	runtime.ReadMemStats(&m1)
+
+	res := RecorderOverheadResult{
+		Packets: packets, Trials: trials,
+		RecordAllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(packets),
+	}
+	const blockPkts = 100 // ~0.25 ms per block: far above timer noise, below steal-burst scales
+	total := packets * trials
+	pairs := total / blockPkts
+	if pairs < 1 {
+		pairs = 1
+	}
+	baseBlk := make([]float64, 0, pairs)
+	diffBlk := make([]float64, 0, pairs)
+	for p := 0; p < pairs; p++ {
+		n := blockPkts
+		if total < blockPkts {
+			n = total
+		}
+		var baseEl, recEl time.Duration
+		for leg := 0; leg < 2; leg++ {
+			recLeg := (leg == 0) == (p&1 == 1)
+			r := rec
+			if !recLeg {
+				r = nil
+			}
+			el, err := block(n, r)
+			if err != nil {
+				return RecorderOverheadResult{}, err
+			}
+			if recLeg {
+				recEl = el
+			} else {
+				baseEl = el
+			}
+		}
+		baseBlk = append(baseBlk, float64(baseEl.Nanoseconds())/float64(n))
+		diffBlk = append(diffBlk, float64(recEl.Nanoseconds()-baseEl.Nanoseconds())/float64(n))
+	}
+	// Whichever leg runs second in a pair inherits warmed state from the
+	// first, shifting the diff one way on even pairs and the other on odd
+	// ones. Averaging each opposite-order pair of diffs cancels that
+	// shift exactly before the median is taken.
+	folded := diffBlk
+	if len(diffBlk) >= 2 {
+		folded = make([]float64, 0, len(diffBlk)/2)
+		for i := 0; i+1 < len(diffBlk); i += 2 {
+			folded = append(folded, (diffBlk[i]+diffBlk[i+1])/2)
+		}
+	}
+	sort.Float64s(baseBlk)
+	sort.Float64s(folded)
+	res.BaseNsPerOp = baseBlk[len(baseBlk)/2]
+	res.RecordNsPerOp = res.BaseNsPerOp + folded[len(folded)/2]
+	res.OverheadPct = (res.RecordNsPerOp - res.BaseNsPerOp) / res.BaseNsPerOp * 100
+	return res, nil
 }
 
 func finishRow(name string, packets int, delivered int64, elapsed time.Duration, mallocs uint64, payloadLen int) PipelineBenchRow {

@@ -100,6 +100,11 @@ type Config struct {
 	// clock; internal/marsim injects a virtual clock so the identical
 	// protocol code runs on deterministic simulated time.
 	Clock vclock.Clock
+	// Recorder, when set, receives flight-recorder events from the
+	// datapath: frame sends, retransmits, acks and loss verdicts. Nil (the
+	// default) costs one pointer check per event site. Give it the same
+	// Clock as the connection so its timeline lines up with the protocol.
+	Recorder *obs.FlightRecorder
 	// MaxBurst caps how many queued frames one pace fire may coalesce
 	// into a single batch write when the transport supports batching
 	// (BatchWriter). The default (0 or 1) keeps the legacy one frame per
@@ -807,6 +812,15 @@ func (c *Conn) paceFire() {
 			wireLen += sealedOver
 		}
 		totalWire += wireLen
+		if r := c.cfg.Recorder; r != nil {
+			// RecordAt reuses the pace fire's clock reading, so the hot
+			// path pays no extra clock call per frame.
+			if pp != nil && pp.retx > 0 {
+				r.RecordAt(now, obs.EvFrameRetransmit, uint8(pp.retx), f.hdr.Stream, uint32(f.hdr.Seq), uint64(wireLen))
+			} else {
+				r.RecordAt(now, obs.EvFrameSend, 0, f.hdr.Stream, uint32(f.hdr.Seq), uint64(wireLen))
+			}
+		}
 		pops = append(pops, popped{f: f, pp: pp})
 	}
 	c.sendPops = pops[:0] // keep the (possibly grown) scratch
@@ -1084,6 +1098,7 @@ func (c *Conn) onAckLocked(hdr Header) {
 	}
 	if pp, ok := st.outstanding[hdr.Seq]; ok {
 		c.lossSampleLocked(0)
+		c.cfg.Recorder.Record(obs.EvFrameAck, 0, hdr.Stream, uint32(hdr.Seq), uint64(rtt.Microseconds()))
 		c.removePendingLocked(st, hdr.Seq, pp)
 	}
 	if hdr.Seq > st.maxAcked {
@@ -1151,6 +1166,7 @@ func (c *Conn) lossSampleLocked(lost float64) {
 func (c *Conn) onLostLocked(st *wstream, seq int64, pp *wpending) {
 	c.lossSampleLocked(1)
 	c.LostFrames++
+	c.cfg.Recorder.Record(obs.EvFrameLost, uint8(pp.retx), st.spec.ID, uint32(seq), 0)
 	c.ctrl.OnLoss(c.now(), !st.spec.Priority.Discardable())
 	if pp.class == core.ClassLossRecovery {
 		affordable := pp.deadline.IsZero() ||

@@ -124,6 +124,9 @@ type PathSetConfig struct {
 	// OnPathState observes per-path transitions (called without internal
 	// locks held).
 	OnPathState func(path string, st PathState)
+	// Recorder, when set, receives an EvPathState flight-recorder event on
+	// every subflow transition and freezes a snapshot when a path dies.
+	Recorder *obs.FlightRecorder
 }
 
 // frameKey identifies one reliable frame across the wire layer.
@@ -529,6 +532,7 @@ func (ps *PathSet) probeFire() {
 	}
 	var notifs []notif
 	var evac []frameKey
+	pathDied := false
 
 	ps.mu.Lock()
 	if ps.closed {
@@ -567,8 +571,14 @@ func (ps *PathSet) probeFire() {
 		case p.state == PathDegraded && p.loss < ps.cfg.DegradeLoss/2:
 			p.state = PathUp
 		}
-		if p.state != prev && ps.cfg.OnPathState != nil {
-			notifs = append(notifs, notif{p.name, p.state})
+		if p.state != prev {
+			ps.cfg.Recorder.Record(obs.EvPathState, uint8(p.state), uint16(i), 0, uint64(p.srtt.Microseconds()))
+			if p.state == PathDown {
+				pathDied = true
+			}
+			if ps.cfg.OnPathState != nil {
+				notifs = append(notifs, notif{p.name, p.state})
+			}
 		}
 		if peer != nil {
 			probe := PathProbe{
@@ -592,6 +602,11 @@ func (ps *PathSet) probeFire() {
 	ps.probeTimer = vclock.Rearm(ps.clock, ps.probeTimer, interval, ps.probeFn)
 	ps.mu.Unlock()
 
+	if pathDied {
+		// Freeze outside the lock: the ring now holds the sends, losses
+		// and state flips that led into the failover.
+		ps.cfg.Recorder.Freeze("path-down")
+	}
 	for _, n := range notifs {
 		ps.cfg.OnPathState(n.name, n.st)
 	}
@@ -724,6 +739,7 @@ func (ps *PathSet) onProbeAck(pathIdx int, probe PathProbe) {
 	if p.state == PathDown || p.state == PathProbing {
 		p.state = PathUp
 		p.loss, p.lossKnown = 0, true
+		ps.cfg.Recorder.Record(obs.EvPathState, uint8(p.state), uint16(pathIdx), 0, uint64(p.srtt.Microseconds()))
 		if ps.cfg.OnPathState != nil {
 			name, st, notify = p.name, p.state, true
 		}

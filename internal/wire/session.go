@@ -177,6 +177,14 @@ func (s *Session) resume(gen int) {
 	old := s.conn
 	s.mu.Unlock()
 
+	// A session reset is exactly the moment the flight recorder exists
+	// for: freeze the ring so the events leading into the dead-peer
+	// verdict survive the reconnect churn.
+	if r := s.base.Recorder; r != nil {
+		r.Record(obs.EvSessionReset, 0, 0, uint32(newGen), 0)
+		r.Freeze("session-reset")
+	}
+
 	seqs := old.streamSeqs()
 	old.Close() //nolint:errcheck // superseded connection
 
