@@ -67,14 +67,15 @@ bench:
 	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json -adapt-out BENCH_adapt.json -multipath-out BENCH_multipath.json -obs-out BENCH_obs.json
 
 # Short coverage-guided smoke over the wire-format decoders, the policy
-# header codec, the Reed-Solomon reconstructor, and the flight-recorder
-# snapshot codec. Go runs one fuzz target per invocation, so each gets
-# its own budget.
+# header codec, the Reed-Solomon reconstructor, the flight-recorder
+# snapshot codec, and the shard demux / GRO segment-split boundary. Go
+# runs one fuzz target per invocation, so each gets its own budget.
 fuzz:
 	$(GO) test -fuzz FuzzHeaderDecode -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzNackDecode -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzPathFrameDecode -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzPathReassembler -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzShardDemux -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzPolicyDecode -fuzztime $(FUZZTIME) ./internal/adapt/
 	$(GO) test -fuzz FuzzReconstruct -fuzztime $(FUZZTIME) ./internal/fec/
 	$(GO) test -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/obs/

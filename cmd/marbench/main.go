@@ -144,11 +144,19 @@ func writeAdapt(path string, seed int64) error {
 
 // writeBench runs the wire datapath saturation bench and records it as
 // machine-readable JSON (the BENCH_wire.json artifact `make bench` tracks).
+// The core-scaling acceptance gate — 4-shard delivered packets/s at least
+// 2.5x the 1-shard figure — fails the run loudly on any host with the
+// cores to scale; hosts with fewer than 4 CPUs record the curve with the
+// gate waived (and say so in the artifact).
 func writeBench(path string, seed int64) error {
 	res := experiments.WireBench(seed)
 	fmt.Println(res.Format())
 	if res.Err != "" {
 		return fmt.Errorf("wire bench: %s", res.Err)
+	}
+	if !res.ShardGatePass() {
+		return fmt.Errorf("wire bench failed shard-scaling acceptance: 4-shard/1-shard = %.2fx < 2.5x (numcpu=%d, gate %s)",
+			res.ShardSpeedup4, res.NumCPU, res.ShardGate)
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -21,7 +21,32 @@ type WireBenchResult struct {
 	// SpeedupPacketsPerSec is send-fastpath-batch over send-legacy — the
 	// tentpole target is ≥4x on loopback saturation.
 	SpeedupPacketsPerSec float64 `json:"speedup_packets_per_sec"`
-	Err                  string  `json:"err,omitempty"`
+
+	// NumCPU records the host's core count: the context the scaling rows
+	// must be read in.
+	NumCPU int `json:"num_cpu"`
+	// ShardRows is the core-scaling curve of the sharded recv datapath:
+	// the closed-loop recv benchmark at 1/2/4/8 shards.
+	ShardRows []wire.ShardBenchRow `json:"shard_rows"`
+	// ShardSpeedup4 is 4-shard packets/s over 1-shard — the acceptance
+	// ratio (target ≥ 2.5x).
+	ShardSpeedup4 float64 `json:"shard_speedup_4x"`
+	// ShardGate records whether the 2.5x ratio is enforced on this host:
+	// "enforced", or "waived (<4 cpus)" when the host cannot physically
+	// scale and the measured ratio fell short anyway.
+	ShardGate string `json:"shard_gate"`
+	Err       string `json:"err,omitempty"`
+}
+
+// shardGateRatio is the acceptance floor for ShardSpeedup4.
+const shardGateRatio = 2.5
+
+// ShardGatePass reports whether the scaling acceptance holds: the 4-shard
+// ratio meets the floor, or the host lacks the cores to be held to it
+// (fewer than 4 CPUs) — in which case the rows are still recorded but the
+// ratio is waived, and ShardGate says so.
+func (r WireBenchResult) ShardGatePass() bool {
+	return r.ShardSpeedup4 >= shardGateRatio || r.NumCPU < 4
 }
 
 // WireBench saturates the wire datapath on loopback and reports each
@@ -40,6 +65,7 @@ func WireBench(seed int64) WireBenchResult {
 	res := WireBenchResult{
 		Seed:         seed,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
 		Packets:      packets,
 		PayloadBytes: payloadLen,
 	}
@@ -60,6 +86,31 @@ func WireBench(seed int64) WireBenchResult {
 	}
 	if legacy > 0 {
 		res.SpeedupPacketsPerSec = batch / legacy
+	}
+	shardRows, err := wire.RunShardScalingBench([]int{1, 2, 4, 8}, packets, payloadLen)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.ShardRows = shardRows
+	var one, four float64
+	for _, r := range shardRows {
+		switch r.Shards {
+		case 1:
+			one = r.PacketsPerSec
+		case 4:
+			four = r.PacketsPerSec
+		}
+	}
+	if one > 0 {
+		res.ShardSpeedup4 = four / one
+	}
+	if res.ShardSpeedup4 >= shardGateRatio {
+		res.ShardGate = "enforced"
+	} else if res.NumCPU < 4 {
+		res.ShardGate = fmt.Sprintf("waived (%d cpus)", res.NumCPU)
+	} else {
+		res.ShardGate = "enforced"
 	}
 	return res
 }
@@ -84,5 +135,20 @@ func (r WireBenchResult) Format() string {
 			row.Name, row.NsPerOp, row.AllocsPerOp, row.PacketsPerSec, row.MbitPerSec, delivered)
 	}
 	fmt.Fprintf(&b, "  speedup (send-fastpath-batch / send-legacy): %.2fx packets/s\n", r.SpeedupPacketsPerSec)
+	if len(r.ShardRows) > 0 {
+		fmt.Fprintf(&b, "  core scaling, closed-loop sharded recv (NumCPU=%d):\n", r.NumCPU)
+		fmt.Fprintf(&b, "  %-20s %10s %12s %12s %10s %10s\n",
+			"shards", "ns/op", "allocs/op", "packets/s", "Mb/s", "path")
+		for _, row := range r.ShardRows {
+			path := "demux"
+			if row.ReusePort {
+				path = "reuseport"
+			}
+			fmt.Fprintf(&b, "  %-20d %10.0f %12.2f %12.0f %10.1f %10s\n",
+				row.Shards, row.NsPerOp, row.AllocsPerOp, row.PacketsPerSec, row.MbitPerSec, path)
+		}
+		fmt.Fprintf(&b, "  shard speedup (4-shard / 1-shard): %.2fx packets/s [gate %s]\n",
+			r.ShardSpeedup4, r.ShardGate)
+	}
 	return b.String()
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package rpc
+
+// raceEnabled is false in non-race builds; see race_on.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package rpc
+
+// raceEnabled reports whether this binary was built with the race
+// detector. The chaos/storm tests use it to scale their load to what an
+// instrumented binary can schedule without starving keepalives.
+const raceEnabled = true

@@ -112,6 +112,7 @@ type serverOptions struct {
 	idleTimeout time.Duration
 	overload    overload.Config
 	workers     int
+	shards      int
 	tiered      TierHandler
 	tracer      *obs.Tracer
 	clock       vclock.Clock
@@ -166,6 +167,19 @@ func WithClock(clock vclock.Clock) ServerOption {
 // NewServer is then ignored. The server owns the transport and closes it.
 func WithPacketConn(pc wire.PacketConn) ServerOption {
 	return func(o *serverOptions) { o.pc = pc }
+}
+
+// WithShards serves the wire datapath across n per-core shards: on Linux
+// one SO_REUSEPORT socket per shard (the kernel pins each client flow to
+// one shard), elsewhere a hashing demux over one socket. Each shard owns
+// its reader goroutine, pacers, band queues and buffer pools; the route
+// table is sharded too, so shards share no lock on the packet path. The
+// admission gate stays server-wide by design — overload is a property of
+// the whole server, not of a shard. Over a synchronous simulated
+// transport (WithPacketConn of a marsim Endpoint) the count collapses to
+// one so simulation stays deterministic.
+func WithShards(n int) ServerOption {
+	return func(o *serverOptions) { o.shards = n }
 }
 
 // ServiceModel declares how long serving a request takes. In the
@@ -227,7 +241,7 @@ type serverCall struct {
 // overload.Gate before any handler runs: per-priority bounded queues,
 // queue-delay shedding, deadline enforcement, and the drain protocol.
 type Server struct {
-	mux      *wire.Mux
+	mux      *wire.MuxGroup
 	handler  Handler
 	tiered   TierHandler
 	gate     *overload.Gate
@@ -236,8 +250,11 @@ type Server struct {
 	svcModel ServiceModel
 	wg       sync.WaitGroup
 
+	// conns is the sharded route table: peer address → conn, looked up on
+	// every request by whichever shard's reader received it.
+	conns *wire.ShardMap[*wire.Conn]
+
 	mu          sync.Mutex
-	conns       map[string]*wire.Conn
 	served      int64
 	stats       ServerStats
 	freeWorkers int // event-dispatch mode: idle worker slots
@@ -259,6 +276,9 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 	if so.overload.Clock == nil {
 		so.overload.Clock = clock.Now
 	}
+	if so.shards <= 0 {
+		so.shards = 1
+	}
 	s := &Server{
 		handler:     handler,
 		tiered:      so.tiered,
@@ -266,7 +286,7 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 		tracer:      so.tracer,
 		clock:       clock,
 		svcModel:    so.svcModel,
-		conns:       make(map[string]*wire.Conn),
+		conns:       wire.NewShardMap[*wire.Conn](4 * so.shards),
 		freeWorkers: so.workers,
 	}
 	muxOpts := []wire.MuxOption{wire.WithMuxClock(clock)}
@@ -285,32 +305,31 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 			Clock:       clock,
 		}
 	}
-	var mux *wire.Mux
+	var mux *wire.MuxGroup
 	var err error
 	if so.pc != nil {
-		mux, err = wire.ListenMuxVia(so.pc, configFor, muxOpts...)
+		// A synchronous (simulated) transport collapses to one shard
+		// inside ListenMuxShardsVia, keeping simulation deterministic.
+		mux, err = wire.ListenMuxShardsVia(so.pc, so.shards, configFor, muxOpts...)
 	} else {
-		mux, err = wire.ListenMux(addr, configFor, muxOpts...)
+		mux, err = wire.ListenMuxShards(addr, so.shards, configFor, muxOpts...)
 	}
 	if err != nil {
 		s.gate.Close()
 		return nil, err
 	}
-	// The mux registers a peer's conn before its first datagram is
-	// processed, so onMessage can always resolve the sender — and
-	// unregisters it on close/eviction so the map tracks the live peer
-	// population instead of leaking an entry per departed address.
+	// Each shard's mux registers a peer's conn before its first datagram
+	// is processed, so onMessage can always resolve the sender — and
+	// unregisters it on close/eviction so the table tracks the live peer
+	// population instead of leaking an entry per departed address. A peer
+	// belongs to exactly one shard (kernel flow hash / demux hash), so
+	// two shards never fight over one key; DeleteIf still guards against
+	// a departing conn evicting a fresh successor after resume.
 	mux.SetOnConn(func(conn *wire.Conn, peer *net.UDPAddr) {
-		s.mu.Lock()
-		s.conns[peer.String()] = conn
-		s.mu.Unlock()
+		s.conns.Put(peer.String(), conn)
 	})
 	mux.SetOnConnClosed(func(conn *wire.Conn, peer *net.UDPAddr) {
-		s.mu.Lock()
-		if s.conns[peer.String()] == conn {
-			delete(s.conns, peer.String())
-		}
-		s.mu.Unlock()
+		s.conns.DeleteIf(peer.String(), func(cur *wire.Conn) bool { return cur == conn })
 	})
 	s.mux = mux
 	if s.svcModel == nil {
@@ -322,19 +341,18 @@ func NewServer(addr string, key []byte, handler Handler, opts ...ServerOption) (
 	return s, nil
 }
 
-// Addr returns the listening address.
+// Addr returns the listening address (shared by every shard).
 func (s *Server) Addr() string { return s.mux.LocalAddr().String() }
 
-// Clients reports how many client connections are live.
+// Clients reports how many client connections are live across all shards.
 func (s *Server) Clients() int { return len(s.mux.Conns()) }
+
+// Shards reports how many datapath shards the server runs.
+func (s *Server) Shards() int { return s.mux.Shards() }
 
 // TrackedPeers reports how many per-peer entries the dispatch table holds
 // (equal to Clients unless something leaks).
-func (s *Server) TrackedPeers() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.conns)
-}
+func (s *Server) TrackedPeers() int { return s.conns.Len() }
 
 // Served reports how many calls were answered.
 func (s *Server) Served() int64 {
@@ -405,9 +423,7 @@ func (s *Server) onMessage(m wire.Message) {
 	if m.Stream != reqStream || len(m.Payload) < reqHeader || m.Peer == nil {
 		return
 	}
-	s.mu.Lock()
-	conn := s.conns[m.Peer.String()]
-	s.mu.Unlock()
+	conn, _ := s.conns.Get(m.Peer.String())
 	if conn == nil {
 		return // cannot happen after SetOnConn registration; defensive
 	}

@@ -241,7 +241,7 @@ func recvLeg(name string, batched bool, packets int, payload []byte) (PipelineBe
 		if derr != nil {
 			return
 		}
-		if _, oerr := sl.open(h, p); oerr != nil {
+		if _, oerr := sl.openInPlace(h, p); oerr != nil {
 			return
 		}
 		delivered.Add(1)

@@ -936,7 +936,12 @@ func (c *Conn) handleDatagram(dgram []byte, raddr *net.UDPAddr) {
 		return // ignore malformed datagrams
 	}
 	if c.sealer != nil {
-		plain, oerr := c.sealer.open(hdr, payload)
+		// In-place open: the plaintext overwrites the ciphertext region of
+		// the loaned delivery buffer, which handleDatagram is free to do —
+		// the transport contract only loans the buffer for this call, and
+		// every consumer below either finishes synchronously (acks, nacks,
+		// pings) or copies (onDataLocked hands OnMessage its own copy).
+		plain, oerr := c.sealer.openInPlace(hdr, payload)
 		if oerr != nil {
 			c.mu.Lock()
 			c.AuthFailures++

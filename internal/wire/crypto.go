@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -136,6 +137,46 @@ func headerAAD(h Header) []byte {
 		return nil
 	}
 	return frame[:headerLen(h)-2] // strip the 2-byte payload length
+}
+
+// aadPool recycles the scratch buffers openInPlace renders associated
+// data into. The AAD is at most HeaderLenTraced bytes, but passing a
+// stack array through the cipher.AEAD interface forces it to escape, so
+// a pooled buffer is what keeps the recv leg at zero allocations.
+var aadPool = sync.Pool{New: func() any {
+	b := make([]byte, HeaderLenTraced)
+	return &b
+}}
+
+// renderAAD writes h's authenticated header bytes (everything except the
+// trailing 2-byte payload-length field, exactly as headerAAD defines)
+// into dst, which must have capacity ≥ headerLen(h), and returns the AAD
+// slice. Unlike headerAAD it allocates nothing.
+func renderAAD(dst []byte, h Header) []byte {
+	hlen := headerLen(h)
+	dst = dst[:hlen]
+	putHeader(dst, h, 0) // length field is stripped below, value irrelevant
+	return dst[:hlen-2]
+}
+
+// openInPlace authenticates and decrypts a sealed payload, writing the
+// plaintext over the ciphertext region of sealed — the caller's buffer is
+// consumed either way, which is exactly the recv-path contract (delivery
+// buffers are loaned for the duration of the callback). This is the
+// zero-allocation twin of appendSealedFrame; open below is the historical
+// fresh-buffer form kept for tests and callers that retain the payload.
+func (s *sealer) openInPlace(h Header, sealed []byte) ([]byte, error) {
+	if len(sealed) < sealedOver {
+		return nil, ErrAuthFailed
+	}
+	aadBuf := aadPool.Get().(*[]byte)
+	aad := renderAAD(*aadBuf, h)
+	plain, err := s.aead.Open(sealed[nonceLen:nonceLen], sealed[:nonceLen], sealed[nonceLen:], aad)
+	aadPool.Put(aadBuf)
+	if err != nil {
+		return nil, ErrAuthFailed
+	}
+	return plain, nil
 }
 
 // seal encrypts payload under a fresh nonce, binding the header, and

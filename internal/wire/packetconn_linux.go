@@ -47,6 +47,33 @@ const (
 	gsoMinSegs = 2
 )
 
+// UDP generic receive offload: the recv twin of GSO. With the UDP_GRO
+// sockopt set, the kernel coalesces back-to-back equal-size datagrams of
+// one flow into a single large buffer handed up with one recvmsg, and a
+// UDP_GRO control message carrying the segment size so userspace can
+// re-split (linux 5.0+). One kernel entry then delivers up to 64 frames,
+// which is where the batched recv leg's headroom beyond recvmmsg comes
+// from. The cmsg payload is the kernel's `int gso_size` (4 bytes).
+const (
+	udpGRO = 104 // UDP_GRO sockopt / cmsg type (linux/udp.h)
+	// groCtrlLen sizes the per-message control buffer: CmsgSpace(4) is 24
+	// on 64-bit and UDP_GRO is the only cmsg this socket can receive.
+	groCtrlLen = 64
+)
+
+// addrCacheMax bounds the reader's peer-address cache. When it fills, the
+// map is cleared and rebuilt — previously returned *net.UDPAddr values
+// stay valid because they are immutable once handed out.
+const addrCacheMax = 8192
+
+// addrKey is the fixed-size, comparable form of a kernel sockaddr, so the
+// reader can look up a cached *net.UDPAddr without allocating.
+type addrKey struct {
+	fam  uint8
+	port uint16 // network byte order, exactly as the kernel filled it
+	ip   [16]byte
+}
+
 // mmsghdr mirrors the kernel's struct mmsghdr on 64-bit targets.
 type mmsghdr struct {
 	hdr syscall.Msghdr
@@ -70,10 +97,13 @@ type batchIO struct {
 	wsas  [ioBatch]syscall.RawSockaddrInet6
 	wcmsg [32]byte // one UDP_SEGMENT cmsg (CmsgSpace(2) <= 32 on 64-bit)
 
-	rhdrs [ioBatch]mmsghdr
-	riovs [ioBatch]syscall.Iovec
-	rsas  [ioBatch]syscall.RawSockaddrInet6
-	rbufs [ioBatch][]byte
+	gro    bool // UDP_GRO enabled on the socket at construction
+	rhdrs  [ioBatch]mmsghdr
+	riovs  [ioBatch]syscall.Iovec
+	rsas   [ioBatch]syscall.RawSockaddrInet6
+	rbufs  [ioBatch][]byte
+	rctrl  [ioBatch][groCtrlLen]byte
+	acache map[addrKey]*net.UDPAddr // owned by the reader goroutine
 }
 
 func newBatchIO(sock *net.UDPConn) *batchIO {
@@ -81,7 +111,16 @@ func newBatchIO(sock *net.UDPConn) *batchIO {
 	if err != nil {
 		return nil
 	}
-	return &batchIO{rc: rc, sock: sock, gso: true}
+	b := &batchIO{rc: rc, sock: sock, gso: true}
+	// Opt into GRO coalescing; a kernel that predates it (pre-5.0) refuses
+	// the sockopt and the reader simply never sees a UDP_GRO cmsg.
+	cerr := rc.Control(func(fd uintptr) {
+		b.gro = syscall.SetsockoptInt(int(fd), syscall.IPPROTO_UDP, udpGRO, 1) == nil
+	})
+	if cerr != nil {
+		b.gro = false
+	}
+	return b
 }
 
 // putSockaddr encodes addr into sa, returning the kernel namelen. ok is
@@ -321,23 +360,95 @@ func (b *batchIO) writeBatch(dgs []Datagram) (int, error) {
 	return sent, nil
 }
 
+// addrOf resolves a kernel-filled sockaddr to a *net.UDPAddr through the
+// reader-owned cache: the first packet from a peer allocates its address,
+// every later packet reuses the same pointer. Callers retain peer
+// addresses (conn.peer, mux keys), which is safe precisely because a
+// handed-out UDPAddr is never mutated — cache eviction only drops the
+// map's reference, never the address itself.
+func (b *batchIO) addrOf(sa *syscall.RawSockaddrInet6) *net.UDPAddr {
+	var k addrKey
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		k.fam = 4
+		k.port = sa4.Port
+		copy(k.ip[:4], sa4.Addr[:])
+	case syscall.AF_INET6:
+		k.fam = 6
+		k.port = sa.Port
+		k.ip = sa.Addr
+	default:
+		return nil
+	}
+	if a, ok := b.acache[k]; ok {
+		return a
+	}
+	a := sockaddrFromRaw(sa)
+	if len(b.acache) >= addrCacheMax {
+		clear(b.acache)
+	}
+	b.acache[k] = a
+	return a
+}
+
+// groSegSize extracts the UDP_GRO segment size from message i's control
+// buffer, or 0 when the datagram was not coalesced. The walk is bounds-
+// checked so a malformed control length can never read out of the buffer.
+func (b *batchIO) groSegSize(i int) int {
+	n := int(b.rhdrs[i].hdr.Controllen)
+	if n > len(b.rctrl[i]) {
+		n = len(b.rctrl[i])
+	}
+	ctrl := b.rctrl[i][:n]
+	for len(ctrl) >= syscall.CmsgLen(0) {
+		h := (*syscall.Cmsghdr)(unsafe.Pointer(&ctrl[0]))
+		l := int(h.Len)
+		if l < syscall.CmsgLen(0) || l > len(ctrl) {
+			return 0
+		}
+		if h.Level == syscall.IPPROTO_UDP && h.Type == udpGRO && l >= syscall.CmsgLen(4) {
+			return int(*(*int32)(unsafe.Pointer(&ctrl[syscall.CmsgLen(0)])))
+		}
+		adv := (l + 7) &^ 7 // CMSG_ALIGN on 64-bit
+		if adv <= 0 || adv > len(ctrl) {
+			return 0
+		}
+		ctrl = ctrl[adv:]
+	}
+	return 0
+}
+
 // readLoop drains the socket with recvmmsg until it is closed, delivering
 // each datagram to recv. Packet buffers are loaned for the duration of the
-// callback (and poisoned afterwards in debug builds); peer addresses are
-// freshly allocated because callers retain them.
+// callback (and poisoned afterwards in debug builds); peer addresses come
+// from the reader-owned cache, so the steady-state delivery path performs
+// zero allocations. GRO-coalesced datagrams are re-split at the advertised
+// segment size before delivery, so the callback sees exactly the frames
+// the peer sent.
 func (b *batchIO) readLoop(recv func(pkt []byte, from *net.UDPAddr)) {
-	for i := range b.rbufs {
-		b.rbufs[i] = make([]byte, recvBufLen)
+	bufLen := recvBufLen
+	if b.gro {
+		// A coalesced GRO buffer holds up to a maximal UDP datagram.
+		bufLen = groRecvBufLen
 	}
+	for i := range b.rbufs {
+		b.rbufs[i] = make([]byte, bufLen)
+	}
+	b.acache = make(map[addrKey]*net.UDPAddr)
 	for {
 		for i := range b.rhdrs {
-			b.riovs[i] = syscall.Iovec{Base: &b.rbufs[i][0], Len: recvBufLen}
+			b.riovs[i] = syscall.Iovec{Base: &b.rbufs[i][0], Len: uint64(bufLen)}
 			b.rhdrs[i] = mmsghdr{hdr: syscall.Msghdr{
 				Name:    (*byte)(unsafe.Pointer(&b.rsas[i])),
 				Namelen: uint32(unsafe.Sizeof(b.rsas[i])),
 				Iov:     &b.riovs[i],
 				Iovlen:  1,
 			}}
+			if b.gro {
+				b.rhdrs[i].hdr.Control = &b.rctrl[i][0]
+				b.rhdrs[i].hdr.SetControllen(groCtrlLen)
+			}
 		}
 		var got int
 		var errno syscall.Errno
@@ -370,12 +481,17 @@ func (b *batchIO) readLoop(recv func(pkt []byte, from *net.UDPAddr)) {
 		}
 		for i := 0; i < got; i++ {
 			n := int(b.rhdrs[i].n)
-			if n > recvBufLen {
-				n = recvBufLen
+			if n > bufLen {
+				n = bufLen
 			}
-			from := sockaddrFromRaw(&b.rsas[i])
-			recv(b.rbufs[i][:n], from)
-			poisonBuf(b.rbufs[i][:n])
+			from := b.addrOf(&b.rsas[i])
+			pkt := b.rbufs[i][:n]
+			if seg := b.groSegSize(i); seg > 0 && seg < n {
+				splitSegments(pkt, seg, from, recv)
+			} else {
+				recv(pkt, from)
+			}
+			poisonBuf(pkt)
 		}
 	}
 }

@@ -1,0 +1,61 @@
+//go:build linux
+
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// SO_REUSEPORT socket-per-shard: N sockets bound to the same UDP port,
+// each drained by its own reader goroutine, with the kernel spreading
+// peers across them by 4-tuple hash — every packet of one flow always
+// lands on the same socket, which is what makes a per-socket shard a
+// coherent owner of its peers' connection state. The constant is spelled
+// out because Go's frozen syscall package predates it on linux.
+const soReusePort = 0xf
+
+func reusePortControl(_, _ string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}
+
+// listenReusePort binds n UDP sockets to one address with SO_REUSEPORT.
+// The first bind resolves the port (addr may use :0); the rest join it.
+// On failure every already-bound socket is closed.
+func listenReusePort(addr string, n int) ([]*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: reusePortControl}
+	socks := make([]*net.UDPConn, 0, n)
+	fail := func(err error) ([]*net.UDPConn, error) {
+		for _, s := range socks {
+			s.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+		if err != nil {
+			return fail(fmt.Errorf("wire: reuseport listen %q (%d/%d): %w", addr, i+1, n, err))
+		}
+		sock, ok := pc.(*net.UDPConn)
+		if !ok {
+			pc.Close()
+			return fail(fmt.Errorf("wire: reuseport listen %q: unexpected conn type %T", addr, pc))
+		}
+		socks = append(socks, sock)
+		if i == 0 {
+			// Pin the resolved port so the remaining binds join this group
+			// rather than each drawing their own ephemeral port.
+			addr = sock.LocalAddr().String()
+		}
+	}
+	return socks, nil
+}

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package wire
+
+import (
+	"errors"
+	"net"
+)
+
+// errNoReusePort reports that this platform has no SO_REUSEPORT shard
+// path; callers fall back to a single socket with a hashing demux.
+var errNoReusePort = errors.New("wire: SO_REUSEPORT sharding not supported on this platform")
+
+func listenReusePort(addr string, n int) ([]*net.UDPConn, error) {
+	return nil, errNoReusePort
+}

@@ -98,7 +98,18 @@ func DialSessionWith(dial ConnDialer, cfg Config, scfg SessionConfig) (*Session,
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	if s.gen != 0 {
+		// The connection was declared dead before we could install it (a
+		// keepalive verdict can fire mid-dial on a pathological scheduler);
+		// the resume machinery already owns the session — this conn is
+		// superseded.
+		s.mu.Unlock()
+		conn.Close() //nolint:errcheck // superseded before install
+		return s, nil
+	}
 	s.conn = conn
+	s.mu.Unlock()
 	return s, nil
 }
 
@@ -185,8 +196,14 @@ func (s *Session) resume(gen int) {
 		r.Freeze("session-reset")
 	}
 
-	seqs := old.streamSeqs()
-	old.Close() //nolint:errcheck // superseded connection
+	// old is nil only when the initial dial's connection died before
+	// DialSessionWith could install it; there are no sequence numbers to
+	// carry forward in that case.
+	var seqs map[uint16]int64
+	if old != nil {
+		seqs = old.streamSeqs()
+		old.Close() //nolint:errcheck // superseded connection
+	}
 
 	s.redialAttempt(newGen, seqs, s.scfg.RedialMin)
 }
@@ -355,7 +372,10 @@ func (s *Session) Close() error {
 	}
 	s.redialTimer, s.confirmTimer = nil, nil
 	s.mu.Unlock()
-	err := conn.Close()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
 	if cb := s.scfg.OnStateChange; cb != nil {
 		cb(StateClosed)
 	}

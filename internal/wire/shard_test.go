@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// dialShardClients dials n clients against the group, sends perClient
+// messages from each, and waits until every message is delivered.
+func dialShardClients(t *testing.T, g *MuxGroup, rx *muxCollector, n, perClient int) []*Conn {
+	t.Helper()
+	var clients []*Conn
+	for i := 0; i < n; i++ {
+		cl, err := Dial(g.LocalAddr().String(), Config{
+			Streams: clientStreams(), StartBudget: 10e6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		clients = append(clients, cl)
+	}
+	for i := 0; i < perClient; i++ {
+		for _, cl := range clients {
+			if _, err := cl.Send(1, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ok := waitFor(t, 10*time.Second, func() bool {
+		for _, cl := range clients {
+			if rx.count(cl.LocalAddr()) < perClient {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		for _, cl := range clients {
+			t.Logf("peer %s: %d/%d", cl.LocalAddr(), rx.count(cl.LocalAddr()), perClient)
+		}
+		t.Fatal("not all clients fully delivered")
+	}
+	return clients
+}
+
+// shardSpread returns per-shard connection counts and how many shards own
+// at least one peer.
+func shardSpread(g *MuxGroup) (counts []int, nonEmpty, total int) {
+	counts = make([]int, g.Shards())
+	for i, m := range g.Muxes() {
+		counts[i] = len(m.Conns())
+		total += counts[i]
+		if counts[i] > 0 {
+			nonEmpty++
+		}
+	}
+	return counts, nonEmpty, total
+}
+
+// The socket-per-shard path: the kernel's SO_REUSEPORT flow hash must
+// spread distinct client 4-tuples across shards, every peer must be owned
+// by exactly one shard (sum of per-shard conns == clients), and all
+// traffic must be served. Skipped where reuseport is unavailable — the
+// demux fallback test below covers those platforms.
+func TestMuxGroupReusePortSpread(t *testing.T) {
+	const shards, clients, perClient = 4, 16, 10
+	rx := newMuxCollector()
+	g, err := ListenMuxShards("127.0.0.1:0", shards, func(peer *net.UDPAddr) Config {
+		return Config{OnMessage: rx.handlerFor(peer)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if !g.ReusePort() {
+		t.Skip("SO_REUSEPORT unavailable on this platform; demux fallback covered separately")
+	}
+	if g.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", g.Shards(), shards)
+	}
+
+	dialShardClients(t, g, rx, clients, perClient)
+
+	counts, nonEmpty, total := shardSpread(g)
+	t.Logf("reuseport shard spread: %v", counts)
+	if total != clients {
+		t.Fatalf("peers owned across shards = %d, want %d (no peer may be lost or double-owned)", total, clients)
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("kernel hashed all %d clients to one shard: %v", clients, counts)
+	}
+	accepted, evicted, _ := g.Stats()
+	if accepted != clients || evicted != 0 {
+		t.Fatalf("accepted=%d evicted=%d, want %d/0", accepted, evicted, clients)
+	}
+}
+
+// The portable fallback path: one socket feeding the hashing demux. The
+// same ownership and delivery properties must hold, and the demux's
+// packet-conservation identity must balance — everything enqueued is
+// delivered (nothing stuck, nothing dropped) once traffic quiesces.
+func TestMuxGroupDemuxFallback(t *testing.T) {
+	const shards, clients, perClient = 4, 12, 10
+	rx := newMuxCollector()
+	sock, err := listenLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ListenMuxShardsVia(newUDPPacketConn(sock), shards, func(peer *net.UDPAddr) Config {
+		return Config{OnMessage: rx.handlerFor(peer)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.ReusePort() {
+		t.Fatal("caller-supplied transport must use the demux path")
+	}
+	if g.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", g.Shards(), shards)
+	}
+
+	dialShardClients(t, g, rx, clients, perClient)
+
+	counts, nonEmpty, total := shardSpread(g)
+	t.Logf("demux shard spread: %v", counts)
+	if total != clients {
+		t.Fatalf("peers owned across shards = %d, want %d", total, clients)
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("address hash put all %d clients on one shard: %v", clients, counts)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		st := g.DemuxStats()
+		return st.Delivered == st.Enqueued
+	}) {
+		t.Fatalf("demux queues never drained: %+v", g.DemuxStats())
+	}
+	st := g.DemuxStats()
+	if st.Enqueued == 0 || st.DroppedOversize != 0 {
+		t.Fatalf("demux accounting off: %+v", st)
+	}
+	if st.Enqueued != st.Delivered+st.DroppedFull {
+		t.Fatalf("conservation violated before teardown: %+v", st)
+	}
+}
+
+// A single-shard request collapses to a plain mux with no demux or extra
+// sockets — the degenerate case the simulator and small deployments use.
+func TestMuxGroupSingleShardCollapse(t *testing.T) {
+	rx := newMuxCollector()
+	g, err := ListenMuxShards("127.0.0.1:0", 1, func(peer *net.UDPAddr) Config {
+		return Config{OnMessage: rx.handlerFor(peer)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Shards() != 1 || g.ReusePort() {
+		t.Fatalf("Shards()=%d ReusePort()=%v, want 1/false", g.Shards(), g.ReusePort())
+	}
+	dialShardClients(t, g, rx, 3, 5)
+	if len(g.Conns()) != 3 {
+		t.Fatalf("Conns() = %d, want 3", len(g.Conns()))
+	}
+}
+
+// BenchmarkShardRecvSmoke is the CI smoke for the shard scaling bench:
+// `make bench-smoke` runs it at -benchtime 1x to prove the 2-shard
+// datapath stands up, moves packets, and tears down — the full {1,2,4,8}
+// curve with the acceptance gate lives in `make bench` (marbench wire).
+func BenchmarkShardRecvSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := RunShardScalingBench([]int{2}, 4000, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0].Delivered == 0 {
+			b.Fatalf("2-shard smoke delivered nothing: %+v", rows)
+		}
+		b.ReportMetric(rows[0].PacketsPerSec, "packets/s")
+	}
+}

@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardBenchRow is one point of the core-scaling curve: the closed-loop
+// recv benchmark (decode + in-place open on every delivery, the same work
+// recv-batched measures) run against a MuxGroup-style shard set.
+type ShardBenchRow struct {
+	Shards        int     `json:"shards"`
+	Senders       int     `json:"senders"`
+	Packets       int     `json:"packets"`
+	Delivered     int64   `json:"delivered"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	MbitPerSec    float64 `json:"mbit_per_sec"`
+	// ReusePort reports whether the row ran socket-per-shard (kernel flow
+	// hashing) or over the portable single-socket demux fallback.
+	ReusePort bool `json:"reuseport"`
+	// ShardSpread is the per-shard delivered count — how evenly the flow
+	// hash spread the sender population.
+	ShardSpread []int64 `json:"shard_spread"`
+}
+
+// RunShardScalingBench measures delivered packets/s of the sharded recv
+// datapath for each shard count, holding the workload shape fixed: the
+// same packet count, the same frame size, and a sender population (one
+// socket each, so each is one kernel flow) large enough to exercise every
+// shard. Senders run closed-loop against global delivery, so the kernel
+// socket buffers never shed the packets being measured. Scaling beyond
+// one shard requires real cores: on a single-CPU host the rows still
+// measure the sharded code path honestly, but the curve is flat — the
+// caller gates on the 4-shard ratio only when the host has the cores (see
+// internal/experiments.WireBench).
+func RunShardScalingBench(shardCounts []int, packets, payloadLen int) ([]ShardBenchRow, error) {
+	rows := make([]ShardBenchRow, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		row, err := shardRecvRow(n, packets, payloadLen)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func shardRecvRow(shards, packets, payloadLen int) (ShardBenchRow, error) {
+	sl, err := newSealer(benchKey)
+	if err != nil {
+		return ShardBenchRow{}, err
+	}
+
+	// Bind the shard set: socket-per-shard when the platform offers it,
+	// single socket + hashing demux otherwise — the same two datapaths
+	// ListenMuxShards picks between.
+	var (
+		conns     []PacketConn
+		reuseport bool
+	)
+	if shards > 1 {
+		if socks, rerr := listenReusePort("127.0.0.1:0", shards); rerr == nil {
+			for _, s := range socks {
+				s.SetReadBuffer(1 << 20) //nolint:errcheck // best-effort; the window below adapts
+				conns = append(conns, newUDPPacketConn(s))
+			}
+			reuseport = true
+		}
+	}
+	if conns == nil {
+		sock, lerr := listenLoopback()
+		if lerr != nil {
+			return ShardBenchRow{}, lerr
+		}
+		sock.SetReadBuffer(1 << 20) //nolint:errcheck // best-effort
+		if shards > 1 {
+			d := newShardDemux(newUDPPacketConn(sock), shards)
+			for _, sc := range d.shards {
+				conns = append(conns, sc)
+			}
+		} else {
+			conns = append(conns, newUDPPacketConn(sock))
+		}
+	}
+	closeAll := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+
+	var delivered atomic.Int64
+	spread := make([]int64, shards)
+	for i, pc := range conns {
+		slot := &spread[i]
+		pc.Start(func(pkt []byte, _ *net.UDPAddr) {
+			h, p, derr := DecodeFrame(pkt)
+			if derr != nil {
+				return
+			}
+			if _, oerr := sl.openInPlace(h, p); oerr != nil {
+				return
+			}
+			atomic.AddInt64(slot, 1)
+			delivered.Add(1)
+		})
+	}
+	raddr, _ := conns[0].LocalAddr().(*net.UDPAddr)
+	if raddr == nil {
+		closeAll()
+		return ShardBenchRow{}, net.InvalidAddrError("shard bench: no local addr")
+	}
+
+	// One socket per sender: each sender is one kernel flow, so the
+	// reuseport hash (or the demux address hash) can spread them.
+	senders := 4
+	if shards > senders {
+		senders = shards
+	}
+	const window = 64
+	type sender struct {
+		pc     *udpPacketConn
+		frames []Datagram
+		quota  int
+	}
+	sds := make([]*sender, senders)
+	for i := range sds {
+		ssock, serr := listenLoopback()
+		if serr != nil {
+			closeAll()
+			return ShardBenchRow{}, serr
+		}
+		s := &sender{pc: newUDPPacketConn(ssock), quota: packets / senders}
+		if i == senders-1 {
+			s.quota = packets - (senders-1)*(packets/senders)
+		}
+		payload := make([]byte, payloadLen)
+		s.frames = make([]Datagram, window)
+		for j := range s.frames {
+			fb := getFrameBuf()
+			frame, ferr := sl.appendSealedFrame((*fb)[:0],
+				Header{Type: TypeData, Stream: 1, Class: 1, Prio: 1, Seq: int64(j)}, payload)
+			if ferr != nil {
+				closeAll()
+				return ShardBenchRow{}, ferr
+			}
+			s.frames[j] = Datagram{B: frame, Addr: raddr}
+		}
+		sds[i] = s
+	}
+
+	var sent atomic.Int64
+	run := func(s *sender) error {
+		done := 0
+		for done < s.quota {
+			n := window
+			if s.quota-done < n {
+				n = s.quota - done
+			}
+			if _, werr := s.pc.WriteBatch(s.frames[:n]); werr != nil {
+				return werr
+			}
+			done += n
+			total := sent.Add(int64(n))
+			// Closed loop: the sender population collectively stays at
+			// most 8 windows ahead of global delivery.
+			wait := time.Now()
+			for total-delivered.Load() > 8*window && time.Since(wait) < time.Second {
+				time.Sleep(20 * time.Microsecond)
+				total = sent.Load()
+			}
+		}
+		return nil
+	}
+
+	// Warm every pool, socket path and branch alike before measuring.
+	for _, s := range sds {
+		if _, werr := s.pc.WriteBatch(s.frames[:window]); werr != nil {
+			closeAll()
+			return ShardBenchRow{}, werr
+		}
+	}
+	// Let the warm-up deliveries settle before zeroing the counters, so
+	// in-flight warm packets don't leak into the measured window.
+	warmLast, warmAt := delivered.Load(), time.Now()
+	for time.Since(warmAt) < 100*time.Millisecond {
+		time.Sleep(200 * time.Microsecond)
+		if d := delivered.Load(); d != warmLast {
+			warmLast, warmAt = d, time.Now()
+		}
+	}
+	delivered.Store(0)
+	for i := range spread {
+		atomic.StoreInt64(&spread[i], 0)
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, senders)
+	for _, s := range sds {
+		wg.Add(1)
+		go func(s *sender) {
+			defer wg.Done()
+			if rerr := run(s); rerr != nil {
+				errCh <- rerr
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	if rerr := <-errCh; rerr != nil {
+		closeAll()
+		for _, s := range sds {
+			s.pc.Close()
+		}
+		return ShardBenchRow{}, rerr
+	}
+	// Drain: wait until delivery stops advancing.
+	last, lastAt := delivered.Load(), time.Now()
+	for delivered.Load() < int64(packets) && time.Since(lastAt) < 500*time.Millisecond {
+		time.Sleep(20 * time.Microsecond)
+		if d := delivered.Load(); d != last {
+			last, lastAt = d, time.Now()
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	for _, s := range sds {
+		s.pc.Close()
+	}
+	closeAll()
+
+	base := finishRow("shard-recv", packets, delivered.Load(), elapsed, m1.Mallocs-m0.Mallocs, payloadLen)
+	out := make([]int64, shards)
+	for i := range spread {
+		out[i] = atomic.LoadInt64(&spread[i])
+	}
+	return ShardBenchRow{
+		Shards:        shards,
+		Senders:       senders,
+		Packets:       packets,
+		Delivered:     base.Delivered,
+		NsPerOp:       base.NsPerOp,
+		AllocsPerOp:   base.AllocsPerOp,
+		PacketsPerSec: base.PacketsPerSec,
+		MbitPerSec:    base.MbitPerSec,
+		ReusePort:     reuseport,
+		ShardSpread:   out,
+	}, nil
+}

@@ -1,0 +1,262 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardMap is the sharded session/route table: a string-keyed hash map
+// split across a power-of-two number of independently locked shards, so
+// lookups from different reader goroutines contend only when they hash to
+// the same shard. It is sized for the route table of an edge server
+// tracking very large peer populations — the per-shard maps grow
+// independently and no operation ever holds more than one shard lock
+// (except Resize, which is administrative).
+//
+// Key → shard assignment is FNV-1a over the key masked to the shard
+// count, so a key's shard is a pure function of (key, shard count):
+// stable across the map's lifetime and across processes.
+type ShardMap[V any] struct {
+	table    atomic.Pointer[shardTable[V]]
+	resizeMu sync.Mutex // serializes Resize against itself
+}
+
+type shardTable[V any] struct {
+	shards []mapShard[V]
+	mask   uint32
+}
+
+type mapShard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+	// dead marks a shard retired by Resize: an operation that locked it
+	// after retirement must reload the table and retry, which is what
+	// guarantees no entry is ever read from or written to a stale shard.
+	dead bool
+}
+
+// NewShardMap builds a map with at least n shards, rounded up to the next
+// power of two (minimum 1).
+func NewShardMap[V any](n int) *ShardMap[V] {
+	s := &ShardMap[V]{}
+	s.table.Store(newShardTable[V](n))
+	return s
+}
+
+func newShardTable[V any](n int) *shardTable[V] {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	t := &shardTable[V]{shards: make([]mapShard[V], size), mask: uint32(size - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]V)
+	}
+	return t
+}
+
+// fnv1a32 is FNV-1a over the key bytes, inlined over the string so the
+// hot path never converts the key to []byte (which would allocate).
+func fnv1a32(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+// ShardOf reports which shard key lives in for a table of n shards
+// (rounded up to a power of two) — the same assignment ShardMap uses, so
+// external structures (per-shard sockets, demux queues) can partition by
+// the identical function.
+func ShardOf(key string, n int) int {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return int(fnv1a32(key) & uint32(size-1))
+}
+
+// ShardOfAddr assigns a peer address to one of n shards by hashing its
+// IP and port — the demux twin of the kernel's SO_REUSEPORT flow hash.
+// It allocates nothing for IPv4 and IPv6 addresses.
+func ShardOfAddr(addr *net.UDPAddr, n int) int {
+	if n <= 1 || addr == nil {
+		return 0
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	ip := addr.IP
+	if ip4 := ip.To4(); ip4 != nil {
+		ip = ip4
+	}
+	for i := 0; i < len(ip); i++ {
+		h ^= uint32(ip[i])
+		h *= prime32
+	}
+	h ^= uint32(addr.Port) & 0xff
+	h *= prime32
+	h ^= uint32(addr.Port) >> 8
+	h *= prime32
+	return int(h & uint32(size-1))
+}
+
+// shardFor locks and returns the live shard owning key. It retries when
+// it lost a race with Resize (the locked shard was already retired).
+func (s *ShardMap[V]) shardFor(key string, write bool) *mapShard[V] {
+	h := fnv1a32(key)
+	for {
+		t := s.table.Load()
+		sh := &t.shards[h&t.mask]
+		if write {
+			sh.mu.Lock()
+		} else {
+			sh.mu.RLock()
+		}
+		if !sh.dead {
+			return sh
+		}
+		if write {
+			sh.mu.Unlock()
+		} else {
+			sh.mu.RUnlock()
+		}
+	}
+}
+
+// Get returns the value for key, if present.
+func (s *ShardMap[V]) Get(key string) (V, bool) {
+	sh := s.shardFor(key, false)
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Put inserts or replaces key's value.
+func (s *ShardMap[V]) Put(key string, v V) {
+	sh := s.shardFor(key, true)
+	sh.m[key] = v
+	sh.mu.Unlock()
+}
+
+// PutIfAbsent inserts v unless key is already present; it returns the
+// value that owns the key after the call and whether this call inserted
+// it — the accept-race primitive a route table needs.
+func (s *ShardMap[V]) PutIfAbsent(key string, v V) (V, bool) {
+	sh := s.shardFor(key, true)
+	if cur, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return cur, false
+	}
+	sh.m[key] = v
+	sh.mu.Unlock()
+	return v, true
+}
+
+// Delete removes key.
+func (s *ShardMap[V]) Delete(key string) {
+	sh := s.shardFor(key, true)
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// DeleteIf removes key only when pred approves the current value, and
+// reports whether a removal happened. Used to drop a route only if it
+// still points at the closing connection (never evicting a successor).
+func (s *ShardMap[V]) DeleteIf(key string, pred func(V) bool) bool {
+	sh := s.shardFor(key, true)
+	v, ok := sh.m[key]
+	if ok && pred(v) {
+		delete(sh.m, key)
+		sh.mu.Unlock()
+		return true
+	}
+	sh.mu.Unlock()
+	return false
+}
+
+// Len counts entries across all shards. The count is a consistent sum of
+// per-shard snapshots, not an atomic snapshot of the whole map.
+func (s *ShardMap[V]) Len() int {
+	for {
+		t := s.table.Load()
+		n, ok := 0, true
+		for i := range t.shards {
+			sh := &t.shards[i]
+			sh.mu.RLock()
+			if sh.dead {
+				ok = false
+			}
+			n += len(sh.m)
+			sh.mu.RUnlock()
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return n
+		}
+	}
+}
+
+// Range calls fn for every entry until fn returns false. Entries added or
+// removed concurrently may or may not be observed; each shard is visited
+// under its read lock.
+func (s *ShardMap[V]) Range(fn func(key string, v V) bool) {
+	t := s.table.Load()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if !fn(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Shards reports the current shard count.
+func (s *ShardMap[V]) Shards() int { return len(s.table.Load().shards) }
+
+// Resize rehashes the map into n shards (rounded up to a power of two).
+// Concurrent operations never lose or duplicate an entry: every old shard
+// is locked while its entries move, then marked dead, so an operation
+// that raced the move notices and retries against the new table.
+func (s *ShardMap[V]) Resize(n int) {
+	s.resizeMu.Lock()
+	defer s.resizeMu.Unlock()
+	old := s.table.Load()
+	next := newShardTable[V](n)
+	if len(next.shards) == len(old.shards) {
+		return
+	}
+	for i := range old.shards {
+		old.shards[i].mu.Lock()
+	}
+	for i := range old.shards {
+		for k, v := range old.shards[i].m {
+			next.shards[fnv1a32(k)&next.mask].m[k] = v
+		}
+	}
+	s.table.Store(next)
+	for i := range old.shards {
+		old.shards[i].dead = true
+		old.shards[i].m = nil
+		old.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+)
+
+// Shard assignment must be a pure function of (key, shard count): the
+// same key always lands on the same shard, and every shard index is
+// reachable for a realistic key population.
+func TestShardOfStable(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		seen := make(map[int]bool)
+		for i := 0; i < 4096; i++ {
+			key := fmt.Sprintf("10.0.%d.%d:%d", i%256, (i*7)%256, 10000+i)
+			a := ShardOf(key, n)
+			b := ShardOf(key, n)
+			if a != b {
+				t.Fatalf("ShardOf(%q,%d) unstable: %d then %d", key, n, a, b)
+			}
+			if a < 0 || a >= nextPow2(n) {
+				t.Fatalf("ShardOf(%q,%d) = %d out of range", key, n, a)
+			}
+			seen[a] = true
+		}
+		if n > 1 && len(seen) < 2 {
+			t.Fatalf("n=%d: all 4096 keys hashed to one shard", n)
+		}
+	}
+}
+
+func nextPow2(n int) int {
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+func TestShardOfAddrSpread(t *testing.T) {
+	const n = 4
+	seen := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		a := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 20000 + i}
+		s := ShardOfAddr(a, n)
+		if s < 0 || s >= n {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if s != ShardOfAddr(a, n) {
+			t.Fatal("ShardOfAddr unstable")
+		}
+		seen[s] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("64 distinct ports all hashed to one shard")
+	}
+	// IPv4 and its v4-in-v6 mapped form are the same peer and must land
+	// on the same shard.
+	a4 := &net.UDPAddr{IP: net.IPv4(192, 0, 2, 7).To4(), Port: 443}
+	a16 := &net.UDPAddr{IP: net.IPv4(192, 0, 2, 7).To16(), Port: 443}
+	if ShardOfAddr(a4, n) != ShardOfAddr(a16, n) {
+		t.Fatal("v4 and v4-mapped-v6 forms of one address hashed differently")
+	}
+}
+
+// Basic single-threaded semantics: Put/Get/Delete/PutIfAbsent/DeleteIf.
+func TestShardMapBasics(t *testing.T) {
+	m := NewShardMap[int](4)
+	if m.Shards() != 4 {
+		t.Fatalf("shards = %d, want 4", m.Shards())
+	}
+	if NewShardMap[int](5).Shards() != 8 {
+		t.Fatal("shard count not rounded to power of two")
+	}
+	m.Put("a", 1)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	if v, inserted := m.PutIfAbsent("a", 2); inserted || v != 1 {
+		t.Fatalf("PutIfAbsent on present key: %d,%v", v, inserted)
+	}
+	if v, inserted := m.PutIfAbsent("b", 3); !inserted || v != 3 {
+		t.Fatalf("PutIfAbsent on absent key: %d,%v", v, inserted)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if m.DeleteIf("a", func(v int) bool { return v == 99 }) {
+		t.Fatal("DeleteIf removed under false predicate")
+	}
+	if !m.DeleteIf("a", func(v int) bool { return v == 1 }) {
+		t.Fatal("DeleteIf refused under true predicate")
+	}
+	m.Delete("b")
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after deletes, want 0", m.Len())
+	}
+}
+
+// Property: resizing never loses an entry and never duplicates one —
+// every key readable before a resize is readable after, with the same
+// value, under any sequence of grow/shrink steps.
+func TestShardMapResizeNoLoss(t *testing.T) {
+	m := NewShardMap[int](2)
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		m.Put(fmt.Sprintf("sess-%d", i), i)
+	}
+	for _, n := range []int{8, 1, 16, 4, 2, 32} {
+		m.Resize(n)
+		if got := m.Len(); got != keys {
+			t.Fatalf("after Resize(%d): Len = %d, want %d", n, got, keys)
+		}
+		count := 0
+		m.Range(func(k string, v int) bool {
+			count++
+			return true
+		})
+		if count != keys {
+			t.Fatalf("after Resize(%d): Range visited %d, want %d", n, count, keys)
+		}
+		for i := 0; i < keys; i += 97 {
+			k := fmt.Sprintf("sess-%d", i)
+			if v, ok := m.Get(k); !ok || v != i {
+				t.Fatalf("after Resize(%d): Get(%s) = %d,%v", n, k, v, ok)
+			}
+		}
+	}
+}
+
+// Concurrency property: under concurrent insert/evict/lookup interleaved
+// with resizes, no session is lost or double-owned. Each worker owns a
+// disjoint key range (exactly like shards owning disjoint peers), inserts
+// and deletes only its own keys, and at the end the table must hold
+// exactly the keys the workers left behind.
+func TestShardMapConcurrentResize(t *testing.T) {
+	m := NewShardMap[int](4)
+	const (
+		workers = 8
+		perKey  = 300
+	)
+	var wg sync.WaitGroup
+	finals := make([]map[string]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			mine := make(map[string]int)
+			for i := 0; i < perKey; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, rng.Intn(100))
+				switch rng.Intn(3) {
+				case 0:
+					v := w*1000 + i
+					m.Put(k, v)
+					mine[k] = v
+				case 1:
+					m.Delete(k)
+					delete(mine, k)
+				default:
+					if v, ok := m.Get(k); ok {
+						if want, mok := mine[k]; mok && v != want {
+							t.Errorf("Get(%s) = %d, want %d", k, v, want)
+							return
+						}
+					}
+				}
+			}
+			finals[w] = mine
+		}(w)
+	}
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for _, n := range []int{1, 16, 2, 8, 4, 32, 2, 64, 4} {
+			m.Resize(n)
+		}
+	}()
+	wg.Wait()
+	rwg.Wait()
+
+	want := make(map[string]int)
+	for _, f := range finals {
+		for k, v := range f {
+			want[k] = v
+		}
+	}
+	if got := m.Len(); got != len(want) {
+		t.Fatalf("final Len = %d, want %d", got, len(want))
+	}
+	for k, v := range want {
+		got, ok := m.Get(k)
+		if !ok || got != v {
+			t.Fatalf("final Get(%s) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// And nothing beyond what the workers left: Range must visit exactly
+	// the surviving set (no double-ownership of a key across shards).
+	seen := make(map[string]bool)
+	m.Range(func(k string, v int) bool {
+		if seen[k] {
+			t.Fatalf("key %s visited twice — double-owned across shards", k)
+		}
+		seen[k] = true
+		if want[k] != v {
+			t.Fatalf("Range(%s) = %d, want %d", k, v, want[k])
+		}
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("Range visited %d keys, want %d", len(seen), len(want))
+	}
+}
