@@ -28,10 +28,12 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 # The deterministic full-stack simulation suite: the 3-seed determinism
-# matrix, the virtual-clock scenario acceptance runs, and the 10-minute
-# time-compressed soak smoke, race-checked.
+# matrix, the virtual-clock scenario acceptance runs, the 10-minute
+# time-compressed soak smoke, and the fleet-tier city suite (its own
+# 3-seed x 2-scenario determinism matrix, the 30k-endpoint conservation
+# run, and the per-cell performance-anomaly property), race-checked.
 sim:
-	$(GO) test -race -run 'TestDeterminismMatrix|TestSoakTimeCompression|TestHandoverScenario|TestCongestionScenario|TestPartitionResume|TestBudgetStagesSumToWallTime|TestMultipath' -v ./internal/marsim/
+	$(GO) test -race -run 'TestDeterminismMatrix|TestSoakTimeCompression|TestHandoverScenario|TestCongestionScenario|TestPartitionResume|TestBudgetStagesSumToWallTime|TestMultipath|TestCityDeterminismMatrix|TestCityFleetConservation|TestCellPerformanceAnomaly|TestCityPlacementBeatsCloud' -v ./internal/marsim/
 
 # The full chaos acceptance storm (skipped under -short), race-checked.
 chaos:
@@ -47,8 +49,8 @@ overload:
 # allocation bound on the disabled-tracing fast path is asserted by
 # TestDisabledTracingAllocs in the regular test pass.
 bench-smoke:
-	$(GO) test -bench . -benchtime 1x ./internal/obs/ ./internal/queue/ ./internal/wire/
-	$(GO) run ./cmd/marbench -adapt-out /dev/null -multipath-out /dev/null -obs-out /dev/null
+	$(GO) test -bench . -benchtime 1x ./internal/obs/ ./internal/queue/ ./internal/wire/ ./internal/simnet/
+	$(GO) run ./cmd/marbench -adapt-out /dev/null -multipath-out /dev/null -obs-out /dev/null -city-out /dev/null -city-users 2000 -city-minutes 1
 
 # The wire datapath saturation study on real loopback sockets, recorded as
 # a machine-readable artifact. The packet count is fixed (never derived
@@ -63,8 +65,13 @@ bench-smoke:
 # BENCH_obs.json is the observability overhead study; marbench fails the
 # run if the flight recorder costs allocations, measurable disabled-path
 # time, or more than 2% on the wire fast path.
+# BENCH_city.json is the fleet-scale city provisioning study: a 100k-user,
+# 10-virtual-minute city solved and replayed through the Section VI-F
+# loop; marbench fails the run if the placement holds < 95% of deadlines,
+# loses to the cloud baseline, leaks queue entries, or blows the
+# wall-time ceiling.
 bench:
-	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json -adapt-out BENCH_adapt.json -multipath-out BENCH_multipath.json -obs-out BENCH_obs.json
+	$(GO) run ./cmd/marbench -bench-out BENCH_wire.json -adapt-out BENCH_adapt.json -multipath-out BENCH_multipath.json -obs-out BENCH_obs.json -city-out BENCH_city.json
 
 # Short coverage-guided smoke over the wire-format decoders, the policy
 # header codec, the Reed-Solomon reconstructor, the flight-recorder

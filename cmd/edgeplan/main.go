@@ -1,5 +1,8 @@
 // Command edgeplan solves the Section VI-F edge-datacenter placement
 // problem on a synthetic city and prints the selected sites per solver.
+// With -city it solves the marsim fleet-tier demand instance instead — a
+// metro-scale city (100k endpoints by default) whose per-user budgets
+// come from the deadline ledger rather than a flat flag.
 package main
 
 import (
@@ -10,6 +13,7 @@ import (
 	"time"
 
 	"marnet/internal/edge"
+	"marnet/internal/marsim"
 )
 
 func main() {
@@ -18,8 +22,20 @@ func main() {
 	side := flag.Float64("side", 30, "city side length, km")
 	budget := flag.Duration("budget", 8*time.Millisecond, "per-user network latency budget")
 	capacity := flag.Int("capacity", 0, "per-site user capacity (0 = uncapacitated)")
+	city := flag.Bool("city", false, "solve the marsim city demand instance at metro scale (100k users unless -users is set)")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
+	if *city {
+		cityUsers := *users
+		if cityUsers == 60 { // flag default: the city's own default applies
+			cityUsers = 0
+		}
+		if err := runCity(cityUsers, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "edgeplan:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*users, *sites, *side, *budget, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "edgeplan:", err)
 		os.Exit(1)
@@ -30,6 +46,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runCity solves placement for the fleet-tier city: build the seeded
+// demand snapshot marsim replays, export it as a Section VI-F instance,
+// and time the greedy solve at metro scale against the random baseline.
+func runCity(users int, seed int64) error {
+	cfg := marsim.CityConfig{Seed: seed, Users: users}
+	t0 := time.Now()
+	c := marsim.NewCity(cfg)
+	inst := c.DemandInstance()
+	fmt.Printf("edgeplan -city: %d users over %d cells, %d candidate sites (built in %v)\n",
+		len(inst.Users), c.Cells(), len(inst.Sites), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  per-direction net budget from the deadline ledger: %v\n", c.Config().NetBudget())
+	if !inst.Feasible() {
+		return fmt.Errorf("instance infeasible: some users are beyond every candidate's budget")
+	}
+	t0 = time.Now()
+	greedy, err := edge.Greedy(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("greedy:  |C| = %d in %v  sites %v\n", len(greedy), time.Since(t0).Round(time.Millisecond), greedy)
+	rnd, err := edge.RandomBaseline(inst, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("random:  |C| = %d\n", len(rnd))
+	return nil
 }
 
 func runCapacitated(users, sites int, side float64, budget time.Duration, capacity int, seed int64) error {

@@ -107,7 +107,7 @@ type Sender struct {
 	streams []*Stream
 	bands   [4]simnet.DropTail // admitted packets by priority band
 	pacing  bool
-	sweep   *simnet.Event
+	sweep   simnet.Event
 	stopped bool
 	flatten bool // ablation: ignore priorities entirely
 
@@ -175,9 +175,7 @@ func (s *Sender) AddStream(cfg StreamConfig) (*Stream, error) {
 // Stop halts background activity (retransmission sweeps, pacing).
 func (s *Sender) Stop() {
 	s.stopped = true
-	if s.sweep != nil {
-		s.sweep.Cancel()
-	}
+	s.sweep.Cancel()
 }
 
 // FlattenPriorities disables all priority handling — one shared band and
@@ -543,7 +541,9 @@ func (s *Sender) onLostPacket(st *Stream, seq int64, pp *pendingPkt) {
 // packets that were never acked (e.g. the last packet of a burst, which can
 // produce no gap).
 func (s *Sender) ensureSweep() {
-	if s.sweep != nil && !s.sweep.Cancelled() {
+	// Skip while a sweep is armed or its callback is running (the callback
+	// re-arms itself while packets stay outstanding).
+	if s.sweep.Pending() || s.sweep.Fired() {
 		return
 	}
 	s.armSweep()
@@ -574,7 +574,7 @@ func (s *Sender) armSweep() {
 		if again {
 			s.armSweep()
 		} else {
-			s.sweep = nil
+			s.sweep = simnet.Event{}
 		}
 	})
 }

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"marnet/internal/edge"
+	"marnet/internal/marsim"
+)
+
+// CityRow is one serving mode's outcome on the same seeded city load.
+type CityRow struct {
+	Mode           string  `json:"mode"` // "placement" or "cloud"
+	Sites          int     `json:"sites"`
+	Offloads       int64   `json:"offloads"`
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	Shed           int64   `json:"shed"`
+	HoldRate       float64 `json:"hold_rate"`
+	CrowdHoldRate  float64 `json:"crowd_hold_rate"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	PeakActive     int     `json:"peak_active"`
+	PeakCellActive int     `json:"peak_cell_active"`
+}
+
+// CityBenchResult is the fleet-scale provisioning study: a 100k-endpoint
+// city with a diurnal load curve and a stadium flash crowd runs ten
+// virtual minutes twice — once on the Section VI-F greedy placement
+// solved from its own demand snapshot, once on the distant-cloud
+// baseline — and the artifact records whether the deadlines actually
+// held and how fast the fleet tier simulated. Marshalled as-is into
+// BENCH_city.json by `make bench`.
+type CityBenchResult struct {
+	Seed           int64   `json:"seed"`
+	Users          int     `json:"users"`
+	CrowdUsers     int     `json:"crowd_users"`
+	VirtualMinutes float64 `json:"virtual_minutes"`
+	Cells          int     `json:"cells"`
+	CandidateSites int     `json:"candidate_sites"`
+	NetBudgetMs    float64 `json:"net_budget_ms"`
+
+	// The solver half of the loop: greedy |C| versus the random-selection
+	// baseline on the identical demand instance, and how long the solve
+	// took at metro scale.
+	PlacementSites int     `json:"placement_sites"`
+	RandomSites    int     `json:"random_sites"`
+	SolveMs        float64 `json:"solve_ms"`
+
+	Rows []CityRow `json:"rows"` // placement replay, then cloud baseline
+
+	// The replay half: fleet-tier throughput evidence.
+	WallSeconds  float64 `json:"wall_seconds"` // placement replay only
+	EventsFired  uint64  `json:"events_fired"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	MaxPending   int     `json:"max_pending"`
+	TraceHash    uint64  `json:"trace_hash"`
+
+	// Acceptance flags the CI bench gate checks.
+	HoldRate                float64 `json:"hold_rate"`             // placement replay, all offloads
+	PlacementBeatsCloud     bool    `json:"placement_beats_cloud"` // strictly higher hold than the cloud baseline
+	GreedyNoWorseThanRandom bool    `json:"greedy_no_worse_than_random"`
+	QueueBounded            bool    `json:"queue_bounded"` // MaxPending ≤ population + slack (cancel-leak fix holding)
+	// WallGate records whether the wall-time bound is enforced: "enforced"
+	// at full scale (a 10-virtual-minute, 100k-user city must finish in
+	// seconds of wall time), or "waived (scaled-down run)" for smoke runs.
+	WallGate string `json:"wall_gate"`
+
+	Err string `json:"err,omitempty"`
+}
+
+const (
+	cityHoldFloor   = 0.95  // deadline-hold floor on the solver's placement
+	cityWallCeiling = 120.0 // seconds of wall time for the full-scale run
+	cityFullUsers   = 100_000
+	cityFullMinutes = 10.0
+)
+
+// Pass reports whether the study met every enforced gate: the solver's
+// placement holds ≥95% of deadlines under the full city load, beats the
+// cloud baseline, the event queue stayed bounded by the live population,
+// and — at full scale — the run finished within the wall-time ceiling.
+func (r CityBenchResult) Pass() bool {
+	if r.Err != "" {
+		return false
+	}
+	if r.HoldRate < cityHoldFloor || !r.PlacementBeatsCloud || !r.QueueBounded {
+		return false
+	}
+	if r.WallGate == "enforced" && r.WallSeconds > cityWallCeiling {
+		return false
+	}
+	return true
+}
+
+// cityConfig builds the study's scenario at the requested scale: crowd
+// size and timing scale with the population and horizon so a smoke run
+// exercises the same shape the full run does.
+func cityConfig(seed int64, users int, minutes float64) marsim.CityConfig {
+	horizon := time.Duration(minutes * float64(time.Minute))
+	return marsim.CityConfig{
+		Seed:    seed,
+		Users:   users,
+		Horizon: horizon,
+		Crowd: &marsim.FlashCrowd{
+			Users:    users / 20, // 5% of the city converges on the stadium
+			At:       time.Duration(0.3 * float64(horizon)),
+			RampUp:   time.Duration(0.05 * float64(horizon)),
+			Duration: time.Duration(0.4 * float64(horizon)),
+			X:        40, Y: 40, // city centre of the default 80 km square
+		},
+	}
+}
+
+func cityRow(mode string, sites int, res marsim.CityResult) CityRow {
+	return CityRow{
+		Mode: mode, Sites: sites,
+		Offloads: res.Offloads, Hits: res.Hits, Misses: res.Misses, Shed: res.Shed,
+		HoldRate: res.HoldRate, CrowdHoldRate: res.CrowdHoldRate,
+		P50Ms:          float64(res.P50) / float64(time.Millisecond),
+		P95Ms:          float64(res.P95) / float64(time.Millisecond),
+		P99Ms:          float64(res.P99) / float64(time.Millisecond),
+		PeakActive:     res.PeakActive,
+		PeakCellActive: res.PeakCellActive,
+	}
+}
+
+// City runs the fleet-scale provisioning study at full scale: 100k
+// residents, ten virtual minutes.
+func City(seed int64) CityBenchResult { return CityAt(seed, cityFullUsers, cityFullMinutes) }
+
+// CityAt runs the study at an explicit scale (CI smoke uses a small
+// one). The wall-time gate is enforced only at full scale.
+func CityAt(seed int64, users int, minutes float64) CityBenchResult {
+	if users <= 0 {
+		users = cityFullUsers
+	}
+	if minutes <= 0 {
+		minutes = cityFullMinutes
+	}
+	cfg := cityConfig(seed, users, minutes)
+	res := CityBenchResult{
+		Seed: seed, Users: users, CrowdUsers: cfg.Crowd.Users,
+		VirtualMinutes: minutes,
+	}
+	if users >= cityFullUsers && minutes >= cityFullMinutes {
+		res.WallGate = "enforced"
+	} else {
+		res.WallGate = "waived (scaled-down run)"
+	}
+
+	// Demand → solve: export the city's snapshot as a placement instance,
+	// solve min |C| greedily, and size the random baseline on the same
+	// instance.
+	c := marsim.NewCity(cfg)
+	res.Cells = c.Cells()
+	inst := c.DemandInstance()
+	res.CandidateSites = len(inst.Sites)
+	res.NetBudgetMs = float64(c.Config().NetBudget()) / float64(time.Millisecond)
+	if !inst.Feasible() {
+		res.Err = "demand instance infeasible: users beyond every candidate's budget"
+		return res
+	}
+	t0 := time.Now()
+	sel, err := edge.Greedy(inst)
+	if err != nil {
+		res.Err = fmt.Sprintf("greedy: %v", err)
+		return res
+	}
+	res.SolveMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	res.PlacementSites = len(sel)
+	rnd, err := edge.RandomBaseline(inst, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		res.Err = fmt.Sprintf("random baseline: %v", err)
+		return res
+	}
+	res.RandomSites = len(rnd)
+	res.GreedyNoWorseThanRandom = res.PlacementSites <= res.RandomSites
+
+	// Replay: the same seeded load against the chosen placement.
+	if err := c.AssignPlacement(sel); err != nil {
+		res.Err = fmt.Sprintf("assign: %v", err)
+		return res
+	}
+	t0 = time.Now()
+	placed, err := c.Run()
+	if err != nil {
+		res.Err = fmt.Sprintf("placement replay: %v", err)
+		return res
+	}
+	res.WallSeconds = time.Since(t0).Seconds()
+	res.EventsFired = placed.EventsFired
+	if res.WallSeconds > 0 {
+		res.EventsPerSec = float64(placed.EventsFired) / res.WallSeconds
+	}
+	res.MaxPending = placed.MaxPending
+	res.TraceHash = placed.TraceHash
+	res.HoldRate = placed.HoldRate
+	res.QueueBounded = placed.MaxPending <= c.Population()+2
+	res.Rows = append(res.Rows, cityRow("placement", len(sel), placed))
+
+	// Baseline: identical city, identical seed, every offload hauled to
+	// the distant datacenter.
+	c2 := marsim.NewCity(cfg)
+	cloud, err := c2.Run()
+	if err != nil {
+		res.Err = fmt.Sprintf("cloud baseline: %v", err)
+		return res
+	}
+	res.Rows = append(res.Rows, cityRow("cloud", 0, cloud))
+	res.PlacementBeatsCloud = placed.HoldRate > cloud.HoldRate
+	return res
+}
+
+// Format renders the study in the repo's table style.
+func (r CityBenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "City provisioning at fleet scale (%d users + %d crowd, %.0f virtual minutes, seed=%d)\n",
+		r.Users, r.CrowdUsers, r.VirtualMinutes, r.Seed)
+	if r.Err != "" {
+		fmt.Fprintf(&b, "  study failed: %s\n", r.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  demand: %d cells, %d candidate sites, net budget %.1fms/direction\n",
+		r.Cells, r.CandidateSites, r.NetBudgetMs)
+	fmt.Fprintf(&b, "  solver: greedy |C|=%d in %.1fms  (random baseline |C|=%d)\n",
+		r.PlacementSites, r.SolveMs, r.RandomSites)
+	fmt.Fprintf(&b, "  %-10s %5s %11s %7s %8s %7s %7s %7s %7s %9s\n",
+		"mode", "|C|", "offloads", "hold%", "crowd%", "shed", "p50", "p95", "p99", "peakcell")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %5d %11d %6.2f%% %7.2f%% %7d %6.0fms %6.0fms %6.0fms %9d\n",
+			row.Mode, row.Sites, row.Offloads, 100*row.HoldRate, 100*row.CrowdHoldRate,
+			row.Shed, row.P50Ms, row.P95Ms, row.P99Ms, row.PeakCellActive)
+	}
+	fmt.Fprintf(&b, "  fleet tier: %d events in %.1fs wall (%.2fM events/s), max pending %d, trace %#x\n",
+		r.EventsFired, r.WallSeconds, r.EventsPerSec/1e6, r.MaxPending, r.TraceHash)
+	fmt.Fprintf(&b, "  hold >= %.0f%%: %v   beats cloud: %v   queue bounded: %v   wall gate: %s (%.1fs)\n",
+		100*cityHoldFloor, r.HoldRate >= cityHoldFloor, r.PlacementBeatsCloud, r.QueueBounded,
+		r.WallGate, r.WallSeconds)
+	return b.String()
+}

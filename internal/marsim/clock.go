@@ -49,13 +49,15 @@ func (c *Clock) AfterFunc(d time.Duration, fn func()) vclock.Timer {
 type simTimer struct {
 	clock *Clock
 	fn    func()
-	ev    *simnet.Event
+	ev    simnet.Event
 }
 
 // Stop cancels the pending event; like time.Timer.Stop it reports false
-// when the callback already ran (or was already stopped).
+// when the callback already ran (or was already stopped). Cancelling
+// releases the sim's event record immediately, so a timer that re-arms
+// forever holds exactly one live queue entry, never a trail of dead ones.
 func (t *simTimer) Stop() bool {
-	if t.ev.Fired() || t.ev.Cancelled() {
+	if !t.ev.Pending() {
 		return false
 	}
 	t.ev.Cancel()

@@ -328,7 +328,7 @@ func (h *Host) StartCrossTraffic(bps float64, pktSize int) (stop func()) {
 		interval = time.Microsecond
 	}
 	stopped := false
-	var ev *simnet.Event
+	var ev simnet.Event
 	var tick func()
 	tick = func() {
 		if stopped {

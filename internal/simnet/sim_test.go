@@ -64,9 +64,18 @@ func TestEventCancel(t *testing.T) {
 	s := New(1)
 	fired := false
 	e := s.Schedule(time.Millisecond, func() { fired = true })
+	if !e.Pending() {
+		t.Error("Pending() should be true before Cancel")
+	}
 	e.Cancel()
 	if !e.Cancelled() {
 		t.Error("Cancelled() should be true")
+	}
+	if e.Pending() || e.Fired() {
+		t.Error("cancelled event reports Pending or Fired")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after cancel, want 0 (eager removal)", s.Pending())
 	}
 	if err := s.Run(); err != nil {
 		t.Fatal(err)
@@ -74,10 +83,138 @@ func TestEventCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Cancelling nil or twice must not panic.
-	var nilEv *Event
-	nilEv.Cancel()
+	// Cancelling the zero handle or twice must not panic.
+	var zero Event
+	zero.Cancel()
 	e.Cancel()
+}
+
+func TestEventHandleLifecycle(t *testing.T) {
+	s := New(1)
+	e := s.Schedule(time.Millisecond, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Fired() {
+		t.Error("Fired() should be true right after the callback ran")
+	}
+	if e.Cancelled() || e.Pending() {
+		t.Error("fired event reports Cancelled or Pending")
+	}
+	e.Cancel() // no-op on a completed event
+	// The fired record is recycled: a new event reuses it, and once that
+	// second lifetime completes the first handle has fully expired.
+	e2 := s.Schedule(time.Millisecond, func() {})
+	if e.Pending() {
+		t.Error("stale handle reports Pending after record reuse")
+	}
+	e.Cancel() // must not cancel the new occupant
+	if !e2.Pending() {
+		t.Error("stale handle Cancel hit the record's new occupant")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() || e.Cancelled() || e.Pending() {
+		t.Error("expired handle should report false everywhere")
+	}
+	if !e2.Fired() {
+		t.Error("second-lifetime handle lost its outcome")
+	}
+}
+
+// The cancel-leak regression: a timer that re-arms forever (marsim
+// keepalives, pacers: Reset = Cancel + Schedule every interval) must hold
+// exactly one queue entry, not one per historical re-arm. Before eager
+// removal, each cancelled event stayed heap-resident until its original
+// deadline — at fleet scale the heap filled with dead entries and
+// Pending() lied about live load.
+func TestCancelRearmChurnBounded(t *testing.T) {
+	s := New(1)
+	const timers = 64
+	const rearms = 10_000
+	evs := make([]Event, timers)
+	fn := func() {}
+	for i := range evs {
+		evs[i] = s.Schedule(time.Hour, fn)
+	}
+	for r := 0; r < rearms; r++ {
+		for i := range evs {
+			evs[i].Cancel()
+			evs[i] = s.Schedule(time.Hour, fn)
+		}
+		if p := s.Pending(); p != timers {
+			t.Fatalf("rearm round %d: Pending = %d, want %d (dead events leaking)", r, p, timers)
+		}
+	}
+	if got := s.TotalCancelled(); got != timers*rearms {
+		t.Errorf("TotalCancelled = %d, want %d", got, timers*rearms)
+	}
+	// The pool holds at most the high-water of concurrent events, not the
+	// cumulative churn.
+	if ps := s.poolSize(); ps > 2*timers {
+		t.Errorf("free list grew to %d records for %d live timers", ps, timers)
+	}
+}
+
+// The event limit is exact: a run may fire precisely maxEvent events; the
+// (maxEvent+1)th returns ErrHorizon with the event still queued.
+func TestEventLimitExactBoundary(t *testing.T) {
+	s := New(1)
+	s.SetEventLimit(100)
+	n := 0
+	for i := 0; i < 100; i++ {
+		s.Schedule(time.Duration(i)*time.Millisecond, func() { n++ })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("exactly-at-limit run errored: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("fired %d of 100", n)
+	}
+
+	s2 := New(1)
+	s2.SetEventLimit(100)
+	m := 0
+	for i := 0; i < 101; i++ {
+		s2.Schedule(time.Duration(i)*time.Millisecond, func() { m++ })
+	}
+	if err := s2.Run(); err != ErrHorizon {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+	if m != 100 {
+		t.Errorf("fired %d before ErrHorizon, want exactly 100", m)
+	}
+	if s2.Pending() != 1 {
+		t.Errorf("Pending = %d after ErrHorizon, want 1 (the unfired event)", s2.Pending())
+	}
+}
+
+// The steady-state schedule/fire/cancel cycle is allocation-flat: with the
+// record pool warm and pre-bound callbacks, re-arming and firing timers
+// costs zero allocations per cycle.
+func TestEventCycleAllocFlat(t *testing.T) {
+	s := New(1)
+	n := 0
+	fn := func() { n++ }
+	// Warm the pool and the heap slice.
+	for i := 0; i < 64; i++ {
+		s.Schedule(time.Duration(i), fn)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10_000, func() {
+		e := s.Schedule(time.Microsecond, fn)
+		e.Cancel()
+		s.Schedule(time.Microsecond, fn)
+		if err := s.RunUntil(s.Now() + time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("schedule/cancel/fire cycle allocates %.2f/op, want 0", allocs)
+	}
 }
 
 func TestRunUntilAdvancesClock(t *testing.T) {

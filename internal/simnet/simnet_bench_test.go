@@ -20,6 +20,29 @@ func BenchmarkEventScheduleAndRun(b *testing.B) {
 	}
 }
 
+// BenchmarkEventRearmChurn is the keepalive/pacer pattern at fleet scale:
+// cancel + reschedule a far-deadline timer, firing a near one each cycle.
+// The pooled core runs this at 0 allocs/op with the heap bounded by live
+// timers.
+func BenchmarkEventRearmChurn(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	fn := func() {}
+	keepalive := s.Schedule(time.Hour, fn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keepalive.Cancel()
+		keepalive = s.Schedule(time.Hour, fn)
+		s.Schedule(time.Microsecond, fn)
+		if err := s.RunUntil(s.Now() + time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if p := s.Pending(); p != 1 {
+		b.Fatalf("Pending = %d, want 1", p)
+	}
+}
+
 func BenchmarkLinkPacketForwarding(b *testing.B) {
 	b.ReportAllocs()
 	s := New(1)

@@ -61,7 +61,7 @@ type Sender struct {
 	srtt    time.Duration
 	rttvar  time.Duration
 	rto     time.Duration
-	timer   *simnet.Event
+	timer   simnet.Event
 	sent    map[int64]bool // segments transmitted at least once
 	rexmit  map[int64]bool // Karn: segments retransmitted at least once
 	started bool
@@ -203,28 +203,24 @@ func (s *Sender) transmit(seq int64, isRexmit bool) {
 	// RFC 6298 (5.1): arm the timer if it is not already running. It is
 	// NOT restarted here — restarting on every transmission would let a
 	// steady dup-ACK stream postpone the RTO forever.
-	if s.timer == nil {
+	if !s.timer.Pending() {
 		s.timer = s.sim.Schedule(s.rto, s.onTimeout)
 	}
 }
 
 // armTimer (re)starts the retransmission timer (on new cumulative ACKs).
 func (s *Sender) armTimer() {
-	if s.timer != nil {
-		s.timer.Cancel()
-	}
+	s.timer.Cancel()
 	s.timer = s.sim.Schedule(s.rto, s.onTimeout)
 }
 
 func (s *Sender) stopTimer() {
-	if s.timer != nil {
-		s.timer.Cancel()
-		s.timer = nil
-	}
+	s.timer.Cancel()
+	s.timer = simnet.Event{}
 }
 
 func (s *Sender) onTimeout() {
-	s.timer = nil
+	s.timer = simnet.Event{}
 	if s.done || s.inFlight() == 0 {
 		return
 	}
